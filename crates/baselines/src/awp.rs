@@ -1,0 +1,150 @@
+//! AWP — Multiview Clustering via Adaptively Weighted Procrustes
+//! (Nie, Tian & Li, KDD 2018).
+//!
+//! A *one-stage* competitor: per-view spectral embeddings `F⁽ᵛ⁾` are fixed
+//! up front; the discrete indicator is then learned by an adaptively
+//! weighted Procrustes alignment
+//!
+//! ```text
+//! min_{Y ∈ Ind, R⁽ᵛ⁾ᵀR⁽ᵛ⁾=I}  Σ_v α_v · ‖F⁽ᵛ⁾ R⁽ᵛ⁾ − Y‖²_F,
+//! α_v = 1 / (2‖F⁽ᵛ⁾R⁽ᵛ⁾ − Y‖_F)      (re-weighted in closed form)
+//! ```
+//!
+//! Alternating: per-view rotations by orthogonal Procrustes, `Y` by
+//! row-wise argmax of the weighted average of rotated embeddings, weights
+//! by the closed form. Like UMSC it avoids K-means; unlike UMSC the
+//! embeddings never adapt to the discretization — the gap between the two
+//! in the tables measures exactly that feedback loop.
+
+use crate::method::{ClusteringMethod, MethodOutput};
+use crate::Result;
+use umsc_core::indicator::{discretize_rows, labels_to_indicator};
+use umsc_core::pipeline::{build_view_laplacians, spectral_embedding, GraphConfig};
+use umsc_data::MultiViewDataset;
+use umsc_linalg::{procrustes, Matrix};
+
+/// AWP baseline (one-stage, fixed embeddings).
+pub struct Awp {
+    /// Number of clusters.
+    pub c: usize,
+    /// Alternation rounds.
+    pub iterations: usize,
+    /// Graph construction per view.
+    pub graph: GraphConfig,
+}
+
+impl Awp {
+    /// Default configuration for `c` clusters.
+    pub fn new(c: usize) -> Self {
+        Awp { c, iterations: 30, graph: GraphConfig::default() }
+    }
+}
+
+impl ClusteringMethod for Awp {
+    fn name(&self) -> String {
+        "AWP".into()
+    }
+
+    fn cluster(&self, data: &MultiViewDataset, seed: u64) -> Result<MethodOutput> {
+        let laplacians = build_view_laplacians(data, &self.graph)?;
+        let c = self.c;
+        let nviews = laplacians.len();
+
+        // Fixed per-view embeddings.
+        let fs: Vec<Matrix> = laplacians
+            .iter()
+            .map(|l| spectral_embedding(l, c, seed))
+            .collect::<Result<_>>()?;
+
+        // Init: each view's eigenbasis differs by an arbitrary orthogonal
+        // transform, so raw embeddings cannot be averaged. Rotate view 0
+        // into a Yu–Shi frame, Procrustes-align every other view to it,
+        // then read the initial Y off the aligned average.
+        let r0 = umsc_core::init_rotation(&fs[0])?;
+        let target = fs[0].matmul(&r0);
+        let mut rotations: Vec<Matrix> = fs
+            .iter()
+            .map(|f| procrustes(&f.matmul_transpose_a(&target)))
+            .collect::<std::result::Result<_, _>>()?;
+        let mut mean_f = Matrix::zeros(data.n(), c);
+        for (f, r) in fs.iter().zip(rotations.iter()) {
+            mean_f.axpy(1.0 / nviews as f64, &f.matmul(r));
+        }
+        let mut labels = discretize_rows(&mean_f);
+        let mut y = labels_to_indicator(&labels, c);
+        let mut weights = vec![1.0 / nviews as f64; nviews];
+
+        for _round in 0..self.iterations {
+            // R-step per view.
+            for (r, f) in rotations.iter_mut().zip(fs.iter()) {
+                *r = procrustes(&f.matmul_transpose_a(&y))?;
+            }
+            // α-step.
+            for ((w, f), r) in weights.iter_mut().zip(fs.iter()).zip(rotations.iter()) {
+                let diff = &f.matmul(r) - &y;
+                *w = 1.0 / (2.0 * diff.frobenius_norm().max(1e-10));
+            }
+            // Y-step: argmax of the weighted fused rotated embeddings.
+            let mut fused = Matrix::zeros(data.n(), c);
+            for ((f, r), &w) in fs.iter().zip(rotations.iter()).zip(weights.iter()) {
+                fused.axpy(w, &f.matmul(r));
+            }
+            let new_labels = discretize_rows(&fused);
+            let done = new_labels == labels;
+            labels = new_labels;
+            y = labels_to_indicator(&labels, c);
+            if done {
+                break;
+            }
+        }
+
+        let s: f64 = weights.iter().sum();
+        Ok(MethodOutput {
+            labels,
+            view_weights: Some(weights.iter().map(|w| w / s).collect()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umsc_data::synth::{MultiViewGmm, ViewSpec};
+    use umsc_metrics::clustering_accuracy;
+
+    #[test]
+    fn clusters_clean_views() {
+        let mut gen =
+            MultiViewGmm::new("awp", 3, 14, vec![ViewSpec::clean(5), ViewSpec::clean(6)]);
+        gen.separation = 7.0;
+        let data = gen.generate(11);
+        let out = Awp::new(3).cluster(&data, 0).unwrap();
+        let acc = clustering_accuracy(&out.labels, &data.labels);
+        assert!(acc > 0.9, "ACC {acc}");
+    }
+
+    #[test]
+    fn weights_normalized_and_noisy_view_downweighted() {
+        let mut data = MultiViewGmm::new(
+            "awpn",
+            3,
+            14,
+            vec![ViewSpec::clean(5), ViewSpec::clean(5), ViewSpec::clean(5)],
+        )
+        .generate(12);
+        data.corrupt_view(0, 1.0, 5);
+        let out = Awp::new(3).cluster(&data, 0).unwrap();
+        let w = out.view_weights.unwrap();
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(w[0] < w[1] && w[0] < w[2], "noisy view not down-weighted: {w:?}");
+    }
+
+    #[test]
+    fn terminates_on_fixed_point() {
+        let data = MultiViewGmm::new("awpf", 2, 10, vec![ViewSpec::clean(4)]).generate(13);
+        let mut m = Awp::new(2);
+        m.iterations = 1000; // fixed-point break must fire long before this
+        let out = m.cluster(&data, 0).unwrap();
+        assert_eq!(out.labels.len(), 20);
+    }
+}

@@ -1,0 +1,115 @@
+//! Feature-concatenation spectral clustering.
+//!
+//! The crudest fusion: scale each view to unit mean row norm (so no view
+//! dominates by feature scale — per-*column* z-scoring would instead
+//! compress the between-cluster directions, since those carry most of a
+//! column's variance), horizontally stack the views, and run single-view
+//! SC on the result. Strong when all views are comparable, fragile when
+//! one view is noisy — exactly the contrast the multi-view tables show.
+
+use crate::method::{ClusteringMethod, MethodOutput};
+use crate::Result;
+use umsc_core::pipeline::{spectral_embedding, GraphConfig};
+use umsc_core::UmscError;
+use umsc_data::MultiViewDataset;
+use umsc_graph::normalized_laplacian;
+use umsc_kmeans::{kmeans, KMeansConfig};
+use umsc_linalg::Matrix;
+
+/// Concatenate-then-cluster baseline.
+pub struct ConcatSc {
+    /// Number of clusters.
+    pub c: usize,
+    /// Graph construction for the concatenated features.
+    pub graph: GraphConfig,
+    /// K-means restarts.
+    pub restarts: usize,
+}
+
+impl ConcatSc {
+    /// Default configuration for `c` clusters.
+    pub fn new(c: usize) -> Self {
+        ConcatSc { c, graph: GraphConfig::default(), restarts: 10 }
+    }
+}
+
+/// Per-view normalization: center columns, then scale the whole view to
+/// unit mean row norm. Keeps within-view geometry intact while making
+/// views scale-commensurate for concatenation.
+fn normalize_view(x: &Matrix) -> Matrix {
+    let (n, d) = x.shape();
+    let mut out = x.clone();
+    for j in 0..d {
+        let col = x.col(j);
+        let mean = umsc_linalg::ops::mean(&col);
+        for i in 0..n {
+            out[(i, j)] -= mean;
+        }
+    }
+    let mean_norm: f64 =
+        (0..n).map(|i| umsc_linalg::ops::norm2(out.row(i))).sum::<f64>() / n.max(1) as f64;
+    if mean_norm > 1e-12 {
+        out.scale_mut(1.0 / mean_norm);
+    }
+    out
+}
+
+impl ClusteringMethod for ConcatSc {
+    fn name(&self) -> String {
+        "SC (concat)".into()
+    }
+
+    fn cluster(&self, data: &MultiViewDataset, seed: u64) -> Result<MethodOutput> {
+        data.validate().map_err(UmscError::InvalidInput)?;
+        let mut stacked = normalize_view(&data.views[0]);
+        for v in &data.views[1..] {
+            stacked = stacked.hstack(&normalize_view(v));
+        }
+        let w = umsc_core::pipeline::view_affinity(&stacked, &self.graph);
+        let l = normalized_laplacian(&w);
+        let mut f = spectral_embedding(&l, self.c, seed)?;
+        for i in 0..f.rows() {
+            umsc_linalg::ops::normalize(f.row_mut(i));
+        }
+        let km = kmeans(&f, &KMeansConfig::new(self.c).with_seed(seed).with_restarts(self.restarts));
+        Ok(MethodOutput::from_labels(km.labels))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umsc_data::synth::{MultiViewGmm, ViewSpec};
+    use umsc_metrics::clustering_accuracy;
+
+    #[test]
+    fn clusters_clean_views() {
+        let data =
+            MultiViewGmm::new("cc", 3, 15, vec![ViewSpec::clean(4), ViewSpec::clean(7)]).generate(1);
+        let out = ConcatSc::new(3).cluster(&data, 0).unwrap();
+        let acc = clustering_accuracy(&out.labels, &data.labels);
+        assert!(acc > 0.9, "ACC {acc}");
+    }
+
+    #[test]
+    fn normalize_view_scales_to_unit_mean_row_norm() {
+        let x = Matrix::from_rows(&[vec![100.0, 1.0], vec![300.0, 3.0]]);
+        let z = normalize_view(&x);
+        let mean_norm: f64 = (0..2).map(|i| umsc_linalg::ops::norm2(z.row(i))).sum::<f64>() / 2.0;
+        assert!((mean_norm - 1.0).abs() < 1e-12, "mean row norm {mean_norm}");
+        // Relative within-view geometry preserved (same direction ratios).
+        assert!((z[(0, 0)] / z[(0, 1)] - x[(0, 0)] / 100.0 / (x[(0, 1)] / 100.0)).abs() < 1.0);
+        // Constant view: centered to zero, no division blow-up.
+        let x = Matrix::from_rows(&[vec![5.0], vec![5.0]]);
+        let z = normalize_view(&x);
+        assert_eq!(z[(0, 0)], 0.0);
+        assert!(z.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn invalid_dataset_rejected() {
+        let mut data = MultiViewGmm::new("bad", 2, 5, vec![ViewSpec::clean(3)]).generate(0);
+        data.labels[0] = 99;
+        assert!(ConcatSc::new(2).cluster(&data, 0).is_err());
+    }
+}

@@ -1,0 +1,44 @@
+//! # umsc-baselines
+//!
+//! The comparison suite: faithful Rust reimplementations of the baselines
+//! this paper family evaluates against, all consuming the *same* graph
+//! construction ([`umsc_core::pipeline`]) so that method comparisons
+//! isolate the algorithm, not the preprocessing.
+//!
+//! | method | family | stages |
+//! |--------|--------|--------|
+//! | [`SingleViewSc`] | classical SC per view (best view reported) | two |
+//! | [`ConcatSc`] | feature concatenation → SC | two |
+//! | [`KernelAvgSc`] | affinity averaging → SC | two |
+//! | [`CoTrainSc`] | co-training SC (Kumar & Daumé, ICML 2011) | two |
+//! | [`CoRegSc`] | co-regularized SC (Kumar et al., NIPS 2011, centroid) | two |
+//! | [`Mlan`] | adaptive-graph learning (Nie et al., AAAI 2017) | graph |
+//! | [`Amgl`] | auto-weighted multiple graph learning (Nie et al., IJCAI 2016) | two |
+//! | [`Awp`] | adaptively weighted Procrustes (Nie et al., KDD 2018) | one |
+//! | [`UmscMethod`] | the paper's unified framework ([`umsc_core`]) | one |
+//!
+//! All methods implement [`ClusteringMethod`]; [`standard_suite`] builds
+//! the full line-up the bench harness prints as Table 2/3 rows.
+
+pub mod amgl;
+pub mod awp;
+pub mod concat;
+pub mod coreg;
+pub mod cotrain;
+pub mod kernel_avg;
+pub mod method;
+pub mod mlan;
+pub mod single_view;
+
+pub use amgl::Amgl;
+pub use awp::Awp;
+pub use concat::ConcatSc;
+pub use coreg::CoRegSc;
+pub use cotrain::CoTrainSc;
+pub use kernel_avg::KernelAvgSc;
+pub use method::{ablation_suite, standard_suite, ClusteringMethod, MethodOutput, UmscMethod};
+pub use mlan::Mlan;
+pub use single_view::SingleViewSc;
+
+/// Result alias re-used from the core crate.
+pub type Result<T> = umsc_core::Result<T>;

@@ -1,0 +1,140 @@
+//! The common method interface and the standard comparison suite.
+
+use crate::Result;
+use umsc_core::{Discretization, Umsc, UmscConfig, Weighting};
+use umsc_data::MultiViewDataset;
+
+/// Output of any clustering method.
+#[derive(Debug, Clone)]
+pub struct MethodOutput {
+    /// Cluster label per point.
+    pub labels: Vec<usize>,
+    /// Optional per-view weights the method learned (None when the method
+    /// has no notion of view weights).
+    pub view_weights: Option<Vec<f64>>,
+}
+
+impl MethodOutput {
+    /// Wraps plain labels.
+    pub fn from_labels(labels: Vec<usize>) -> Self {
+        MethodOutput { labels, view_weights: None }
+    }
+}
+
+/// A clustering method under comparison.
+pub trait ClusteringMethod {
+    /// Display name used in tables (e.g. `"Co-Reg"`).
+    fn name(&self) -> String;
+    /// Clusters the dataset into `c` clusters (taken from the method's own
+    /// configuration). `seed` controls all stochastic parts.
+    fn cluster(&self, data: &MultiViewDataset, seed: u64) -> Result<MethodOutput>;
+}
+
+/// The paper's method wrapped as a [`ClusteringMethod`].
+pub struct UmscMethod {
+    /// Underlying configuration (seed is overridden per call).
+    pub config: UmscConfig,
+    display: String,
+}
+
+impl UmscMethod {
+    /// Default UMSC with `c` clusters.
+    pub fn new(c: usize) -> Self {
+        UmscMethod { config: UmscConfig::new(c), display: "UMSC".into() }
+    }
+
+    /// With an explicit configuration and display label (used by ablations).
+    pub fn with_config(config: UmscConfig, display: &str) -> Self {
+        UmscMethod { config, display: display.into() }
+    }
+}
+
+impl ClusteringMethod for UmscMethod {
+    fn name(&self) -> String {
+        self.display.clone()
+    }
+    fn cluster(&self, data: &MultiViewDataset, seed: u64) -> Result<MethodOutput> {
+        let cfg = self.config.clone().with_seed(seed);
+        let res = Umsc::new(cfg).fit(data)?;
+        Ok(MethodOutput { labels: res.labels, view_weights: Some(res.view_weights) })
+    }
+}
+
+/// Builds the full comparison line-up for `c` clusters, in table order:
+/// SC(best view), SC(concat), SC(kernel-avg), Co-Train, Co-Reg, MLAN,
+/// AMGL, AWP, and UMSC last (the paper's method).
+pub fn standard_suite(c: usize) -> Vec<Box<dyn ClusteringMethod>> {
+    vec![
+        Box::new(crate::SingleViewSc::new(c)),
+        Box::new(crate::ConcatSc::new(c)),
+        Box::new(crate::KernelAvgSc::new(c)),
+        Box::new(crate::CoTrainSc::new(c)),
+        Box::new(crate::CoRegSc::new(c)),
+        Box::new(crate::Mlan::new(c)),
+        Box::new(crate::Amgl::new(c)),
+        Box::new(crate::Awp::new(c)),
+        Box::new(UmscMethod::new(c)),
+    ]
+}
+
+/// Ablation variants of UMSC (experiment A1): one-stage rotation (paper),
+/// scaled rotation, two-stage K-means discretization, and uniform weights.
+pub fn ablation_suite(c: usize) -> Vec<Box<dyn ClusteringMethod>> {
+    vec![
+        Box::new(UmscMethod::with_config(UmscConfig::new(c), "UMSC (rotation)")),
+        Box::new(UmscMethod::with_config(
+            UmscConfig::new(c).with_discretization(Discretization::ScaledRotation),
+            "UMSC (scaled rot.)",
+        )),
+        Box::new(UmscMethod::with_config(
+            UmscConfig::new(c).with_discretization(Discretization::KMeans { restarts: 10 }),
+            "UMSC (two-stage KM)",
+        )),
+        Box::new(UmscMethod::with_config(
+            UmscConfig::new(c).with_weighting(Weighting::Uniform),
+            "UMSC (uniform w)",
+        )),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umsc_data::synth::{MultiViewGmm, ViewSpec};
+
+    #[test]
+    fn suite_has_expected_lineup() {
+        let suite = standard_suite(3);
+        let names: Vec<String> = suite.iter().map(|m| m.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "SC (best view)",
+                "SC (concat)",
+                "SC (kernel-avg)",
+                "Co-Train",
+                "Co-Reg",
+                "MLAN",
+                "AMGL",
+                "AWP",
+                "UMSC"
+            ]
+        );
+    }
+
+    #[test]
+    fn umsc_method_reports_weights() {
+        let data = MultiViewGmm::new("m", 2, 12, vec![ViewSpec::clean(3), ViewSpec::clean(3)]).generate(0);
+        let out = UmscMethod::new(2).cluster(&data, 1).unwrap();
+        assert_eq!(out.labels.len(), 24);
+        assert_eq!(out.view_weights.as_ref().map(Vec::len), Some(2));
+    }
+
+    #[test]
+    fn ablation_names_distinct() {
+        let names: Vec<String> = ablation_suite(2).iter().map(|m| m.name()).collect();
+        let mut dedup = names.clone();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len());
+    }
+}

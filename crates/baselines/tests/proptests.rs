@@ -1,0 +1,82 @@
+//! Property tests across the whole method suite: every method must return
+//! structurally valid labelings on arbitrary generated inputs, be
+//! deterministic given a seed, and score reasonably on clearly separated
+//! data.
+
+use proptest::prelude::*;
+use umsc_baselines::standard_suite;
+use umsc_data::synth::{MultiViewGmm, ViewSpec};
+use umsc_data::MultiViewDataset;
+use umsc_metrics::clustering_accuracy;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    c: usize,
+    per: usize,
+    dims: Vec<usize>,
+    seed: u64,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (2usize..4, 8usize..14, prop::collection::vec(3usize..10, 1..3), 0u64..200)
+        .prop_map(|(c, per, dims, seed)| Scenario { c, per, dims, seed })
+}
+
+fn generate(s: &Scenario, separation: f64) -> MultiViewDataset {
+    let mut gen = MultiViewGmm::new(
+        "prop",
+        s.c,
+        s.per,
+        s.dims.iter().map(|&d| ViewSpec::clean(d)).collect(),
+    );
+    gen.separation = separation;
+    gen.generate(s.seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn all_methods_return_valid_labelings(s in scenario()) {
+        let data = generate(&s, 4.0);
+        for method in standard_suite(s.c) {
+            let out = method.cluster(&data, s.seed).unwrap_or_else(|e| panic!("{}: {e}", method.name()));
+            prop_assert_eq!(out.labels.len(), data.n(), "{}", method.name());
+            prop_assert!(out.labels.iter().all(|&l| l < s.c), "{}", method.name());
+            if let Some(w) = &out.view_weights {
+                prop_assert_eq!(w.len(), data.num_views());
+                prop_assert!(w.iter().all(|&x| x >= 0.0 && x.is_finite()));
+            }
+        }
+    }
+
+    #[test]
+    fn all_methods_deterministic(s in scenario()) {
+        let data = generate(&s, 4.0);
+        for method in standard_suite(s.c) {
+            let a = method.cluster(&data, 7).unwrap();
+            let b = method.cluster(&data, 7).unwrap();
+            prop_assert_eq!(a.labels, b.labels, "{} nondeterministic", method.name());
+        }
+    }
+
+    #[test]
+    fn all_methods_handle_separable_data(s in scenario()) {
+        // With huge separation every sane method should be near-perfect —
+        // provided each view can *see* the separation: a view with fewer
+        // dimensions than the latent space can legitimately lose a cluster
+        // distinction under its random observation map (views are partial
+        // by design), so widen the views to at least the latent dimension.
+        let mut s = s;
+        let latent = s.c.max(4);
+        for d in &mut s.dims {
+            *d += latent + 1;
+        }
+        let data = generate(&s, 10.0);
+        for method in standard_suite(s.c) {
+            let out = method.cluster(&data, 0).unwrap();
+            let acc = clustering_accuracy(&out.labels, &data.labels);
+            prop_assert!(acc > 0.85, "{} ACC {acc} on trivially separable data", method.name());
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Criterion microbench: per-block cost of the unified solver — the
+//! ablation bench for the design choices DESIGN.md calls out (warm-start
+//! eigensolve vs GPI inner iteration vs Procrustes vs Y-step). The
+//! eigensolve dominates; everything downstream is cheap, which is why the
+//! one-stage loop costs little more than a single two-stage embedding.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use umsc_core::indicator::{discretize_rows, labels_to_indicator};
+use umsc_core::pipeline::{build_view_laplacians, spectral_embedding, GraphConfig};
+use umsc_core::{gpi_stiefel, init_rotation};
+use umsc_data::synth::{MultiViewGmm, ViewSpec};
+use umsc_linalg::{procrustes, Matrix};
+
+fn setup() -> (Vec<Matrix>, Matrix, Matrix, Matrix) {
+    let mut gen = MultiViewGmm::new("bench", 5, 50, vec![ViewSpec::clean(20), ViewSpec::clean(30)]);
+    gen.separation = 4.0;
+    let data = gen.generate(2);
+    let laplacians = build_view_laplacians(&data, &GraphConfig::default()).unwrap();
+    let mut fused = Matrix::zeros(data.n(), data.n());
+    for l in &laplacians {
+        fused.axpy(1.0 / laplacians.len() as f64, l);
+    }
+    let f = spectral_embedding(&fused, 5, 0).unwrap();
+    let r = init_rotation(&f).unwrap();
+    let y = labels_to_indicator(&discretize_rows(&f.matmul(&r)), 5);
+    (laplacians, fused, f, y)
+}
+
+fn bench_solver_steps(c: &mut Criterion) {
+    let (laplacians, fused, f, y) = setup();
+    let n = fused.rows();
+    let mut g = c.benchmark_group(format!("solver_steps_n{n}_c5"));
+    g.sample_size(10);
+
+    g.bench_function("embedding_eigensolve", |b| {
+        b.iter(|| spectral_embedding(black_box(&fused), 5, 0).unwrap())
+    });
+    let b_mat = y.matmul_transpose_b(&Matrix::identity(5)).scale(0.01);
+    g.bench_function("gpi_f_step_40_inner", |b| {
+        b.iter(|| gpi_stiefel(black_box(&fused), black_box(&b_mat), black_box(&f), 40, 1e-10).unwrap())
+    });
+    g.bench_function("procrustes_r_step", |b| {
+        b.iter(|| procrustes(black_box(&f.matmul_transpose_a(&y))).unwrap())
+    });
+    g.bench_function("argmax_y_step", |b| {
+        let fr = f.clone();
+        b.iter(|| discretize_rows(black_box(&fr)))
+    });
+    g.bench_function("trace_w_step", |b| {
+        b.iter(|| {
+            laplacians
+                .iter()
+                .map(|l| {
+                    let lf = l.matmul(black_box(&f));
+                    f.matmul_transpose_a(&lf).trace()
+                })
+                .collect::<Vec<f64>>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_solver_steps);
+criterion_main!(benches);

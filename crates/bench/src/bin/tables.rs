@@ -1,0 +1,33 @@
+//! Regenerates the paper's tables. Usage:
+//!
+//! ```text
+//! cargo run --release -p umsc-bench --bin tables -- [t1|t2|t3|ablation|all] [--full] [--seeds N]
+//! ```
+
+use umsc_bench::runner::{seeds_from_args, BenchProfile};
+use umsc_bench::tables;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let profile = BenchProfile::from_args(&args);
+    let seeds = seeds_from_args(&args, profile);
+    let what = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".into());
+
+    match what.as_str() {
+        "t1" => tables::table1(profile),
+        "t2" => tables::table2(profile, seeds),
+        "t3" => tables::table3(profile, seeds),
+        "ablation" => tables::ablation(profile, seeds),
+        "graph-ablation" => tables::graph_ablation(profile, seeds),
+        "all" => {
+            tables::table1(profile);
+            tables::table2_and_3(profile, seeds);
+            tables::ablation(profile, seeds);
+            tables::graph_ablation(profile, seeds);
+        }
+        other => {
+            eprintln!("unknown table '{other}': expected t1|t2|t3|ablation|graph-ablation|all");
+            std::process::exit(2);
+        }
+    }
+}

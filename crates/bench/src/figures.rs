@@ -1,0 +1,227 @@
+//! Figure generators (experiments F1, F2, F3 in DESIGN.md §3). "Figures"
+//! print their data series as aligned text columns (and JSON) — the shape
+//! of each curve is the reproduction target.
+
+use crate::report::{json_escape, save_json, TextTable};
+use crate::runner::BenchProfile;
+use std::fmt::Write as _;
+use umsc_data::BenchmarkId;
+use umsc_metrics::clustering_accuracy;
+use umsc_core::{Umsc, UmscConfig};
+
+/// F1 — convergence: objective (and ACC) vs outer iteration, per dataset.
+pub fn figure1(profile: BenchProfile) {
+    println!("\n=== Figure 1: convergence of the unified solver ({:?} profile) ===", profile);
+    let mut json = String::from("{\n");
+    for (di, id) in BenchmarkId::ALL.into_iter().enumerate() {
+        let data = profile.load(id);
+        let cfg = UmscConfig::new(data.num_clusters).with_max_iter(30).with_seed(0);
+        // Disable early stopping by using a tiny tolerance so the full
+        // 30-iteration trace is recorded.
+        let mut cfg = cfg;
+        cfg.tol = 0.0;
+        let res = Umsc::new(cfg).fit(&data).expect("fit failed");
+        let final_acc = clustering_accuracy(&res.labels, &data.labels);
+        println!("\n--- {} (final ACC {final_acc:.3}) ---\n", data.name);
+        let mut t = TextTable::new(&["iter", "objective", "embed term", "align term"]);
+        for (i, s) in res.history.iter().enumerate() {
+            t.row(vec![
+                i.to_string(),
+                format!("{:.6}", s.objective),
+                format!("{:.6}", s.embedding_term),
+                format!("{:.6}", s.rotation_term),
+            ]);
+        }
+        print!("{}", t.render());
+        // Monotonicity check printed explicitly (the claim under test).
+        let monotone = res.history.windows(2).all(|w| w[1].objective <= w[0].objective + 1e-6 * (1.0 + w[0].objective.abs()));
+        println!("monotone non-increasing: {monotone}");
+        if di > 0 {
+            json.push_str(",\n");
+        }
+        let series: Vec<String> = res.history.iter().map(|s| format!("{:.6}", s.objective)).collect();
+        let _ = write!(json, "  \"{}\": [{}]", json_escape(&data.name), series.join(", "));
+    }
+    json.push_str("\n}\n");
+    save_json("figure1_convergence", &json);
+}
+
+/// F2 — parameter sensitivity: ACC vs λ over a log grid.
+pub fn figure2(profile: BenchProfile) {
+    println!("\n=== Figure 2: sensitivity of ACC to λ ({:?} profile) ===", profile);
+    let lambdas = [1e-4, 1e-3, 1e-2, 1e-1, 1.0, 1e1, 1e2, 1e3, 1e4];
+    let mut json = String::from("{\n");
+    for (di, id) in BenchmarkId::ALL.into_iter().enumerate() {
+        let data = profile.load(id);
+        println!("\n--- {} ---\n", data.name);
+        let mut t = TextTable::new(&["lambda", "ACC", "iters"]);
+        let mut series = Vec::new();
+        for &lambda in &lambdas {
+            let cfg = UmscConfig::new(data.num_clusters).with_lambda(lambda).with_seed(0);
+            let res = Umsc::new(cfg).fit(&data).expect("fit failed");
+            let acc = clustering_accuracy(&res.labels, &data.labels);
+            t.row(vec![format!("{lambda:.0e}"), format!("{acc:.4}"), res.history.len().to_string()]);
+            series.push(format!("[{lambda:e}, {acc:.4}]"));
+        }
+        print!("{}", t.render());
+        if di > 0 {
+            json.push_str(",\n");
+        }
+        let _ = write!(json, "  \"{}\": [{}]", json_escape(&data.name), series.join(", "));
+    }
+    json.push_str("\n}\n");
+    save_json("figure2_lambda", &json);
+    println!("\nReading guide: ACC should be stable over the wide middle of the λ range\n(the paper's parameter-insensitivity claim); extremes may degrade.");
+}
+
+/// F3 — learned view weights per dataset, plus the corrupted-view stressor.
+pub fn figure3(profile: BenchProfile) {
+    println!("\n=== Figure 3: learned view weights ({:?} profile) ===", profile);
+    for id in BenchmarkId::ALL {
+        let data = profile.load(id);
+        let res = Umsc::new(UmscConfig::new(data.num_clusters).with_seed(0)).fit(&data).expect("fit failed");
+        println!("\n--- {} ---", data.name);
+        bars(&res.view_weights);
+    }
+
+    println!("\n--- corrupted-view stressor (MSRC-v1 mimic, view 0 replaced by noise) ---");
+    let mut data = profile.load(BenchmarkId::Msrcv1);
+    let clean = Umsc::new(UmscConfig::new(data.num_clusters).with_seed(0)).fit(&data).expect("fit failed");
+    let clean_acc = clustering_accuracy(&clean.labels, &data.labels);
+    data.corrupt_view(0, 1.0, 99);
+    let noisy = Umsc::new(UmscConfig::new(data.num_clusters).with_seed(0)).fit(&data).expect("fit failed");
+    let noisy_acc = clustering_accuracy(&noisy.labels, &data.labels);
+    println!("\nweights before corruption (ACC {clean_acc:.3}):");
+    bars(&clean.view_weights);
+    println!("\nweights after corrupting view 0 (ACC {noisy_acc:.3}):");
+    bars(&noisy.view_weights);
+    println!(
+        "\nReading guide: view 0's weight drops after corruption while ACC stays close. How far it\n\
+         drops depends on how clean the other views are (w ∝ 1/√tr caps the ratio): on synthetic\n\
+         GMMs with clean companions it collapses to ~0.03 (see examples/noisy_views.rs); on this\n\
+         mimic, whose other views are themselves noisy, the drop is smaller."
+    );
+
+    let mut json = String::from("{\n");
+    let _ = write!(
+        json,
+        "  \"clean_weights\": {:?},\n  \"corrupted_weights\": {:?},\n  \"clean_acc\": {clean_acc:.4},\n  \"corrupted_acc\": {noisy_acc:.4}\n",
+        clean.view_weights, noisy.view_weights
+    );
+    json.push_str("}\n");
+    save_json("figure3_weights", &json);
+}
+
+fn bars(weights: &[f64]) {
+    for (v, w) in weights.iter().enumerate() {
+        let bar = "#".repeat((w * 120.0).round() as usize);
+        println!("  view {v}: {w:.4} {bar}");
+    }
+}
+
+/// F5 — robustness: ACC as views are progressively replaced by noise,
+/// auto-weighted UMSC vs uniform weighting vs uniform kernel averaging.
+/// The widening gap as corruption grows is the auto-weighting claim in
+/// curve form.
+pub fn figure5(_profile: BenchProfile) {
+    use umsc_baselines::{ClusteringMethod, KernelAvgSc, UmscMethod};
+    use umsc_core::Weighting;
+    use umsc_data::synth::{MultiViewGmm, ViewSpec};
+
+    println!("\n=== Figure 5: robustness to corrupted views (4 clusters, 4 views, n = 160) ===\n");
+    let mut gen = MultiViewGmm::new(
+        "robust",
+        4,
+        40,
+        vec![ViewSpec::clean(10), ViewSpec::clean(12), ViewSpec::clean(8), ViewSpec::clean(10)],
+    );
+    gen.separation = 4.0;
+
+    let mut t = TextTable::new(&["#corrupted", "UMSC (auto)", "UMSC (uniform)", "SC (kernel-avg)"]);
+    let mut json = String::from("[\n");
+    for corrupt in 0..=3usize {
+        let mut data = gen.generate(17);
+        for v in 0..corrupt {
+            data.corrupt_view(v, 1.0, 300 + v as u64);
+        }
+        let auto = UmscMethod::new(4).cluster(&data, 0).expect("auto");
+        let uniform = UmscMethod::with_config(
+            UmscConfig::new(4).with_weighting(Weighting::Uniform),
+            "UMSC uniform",
+        )
+        .cluster(&data, 0)
+        .expect("uniform");
+        let kavg = KernelAvgSc::new(4).cluster(&data, 0).expect("kavg");
+        let acc = |labels: &[usize]| clustering_accuracy(labels, &data.labels);
+        let (a, u, k) = (acc(&auto.labels), acc(&uniform.labels), acc(&kavg.labels));
+        t.row(vec![corrupt.to_string(), format!("{a:.4}"), format!("{u:.4}"), format!("{k:.4}")]);
+        if corrupt > 0 {
+            json.push_str(",\n");
+        }
+        let _ = write!(json, "  {{\"corrupted\": {corrupt}, \"auto\": {a:.4}, \"uniform\": {u:.4}, \"kernel_avg\": {k:.4}}}");
+    }
+    json.push_str("\n]\n");
+    print!("{}", t.render());
+    save_json("figure5_robustness", &json);
+    println!("\nReading guide: all methods match with no corruption; as views turn to noise the\nauto-weighted unified method holds its accuracy while uniform fusion degrades.");
+}
+
+/// F4 — scalability: exact vs anchor-graph solver, runtime and ACC vs n.
+///
+/// This backs the large-scale extension (DESIGN.md: anchor graphs give an
+/// O(n·m·c) one-stage solver). Shape target: anchor runtime grows roughly
+/// linearly in n while the exact path grows superlinearly, at comparable
+/// accuracy.
+pub fn figure4(profile: BenchProfile) {
+    use umsc_core::anchor::{AnchorUmsc, AnchorUmscConfig};
+    use umsc_data::synth::{MultiViewGmm, ViewSpec};
+
+    println!("\n=== Figure 4: scalability — exact vs anchor (m = 120) ===\n");
+    let sizes: &[usize] = match profile {
+        BenchProfile::Quick => &[100, 200, 400, 800, 1600],
+        BenchProfile::Full => &[100, 200, 400, 800, 1600, 3200, 6400],
+    };
+    let mut t = TextTable::new(&["n", "exact s", "exact ACC", "anchor s", "anchor ACC"]);
+    let mut json = String::from("[\n");
+    for (i, &n_per4) in sizes.iter().enumerate() {
+        let mut gen = MultiViewGmm::new(
+            "scale",
+            4,
+            n_per4 / 4,
+            vec![ViewSpec::clean(12), ViewSpec::clean(16)],
+        );
+        gen.separation = 5.0;
+        let data = gen.generate(9);
+
+        let t0 = std::time::Instant::now();
+        let exact = Umsc::new(UmscConfig::new(4)).fit(&data).expect("exact fit");
+        let exact_s = t0.elapsed().as_secs_f64();
+        let exact_acc = clustering_accuracy(&exact.labels, &data.labels);
+
+        let t0 = std::time::Instant::now();
+        let anchor = AnchorUmsc::new(AnchorUmscConfig::new(4).with_anchors(120))
+            .fit(&data)
+            .expect("anchor fit");
+        let anchor_s = t0.elapsed().as_secs_f64();
+        let anchor_acc = clustering_accuracy(&anchor.labels, &data.labels);
+
+        t.row(vec![
+            data.n().to_string(),
+            format!("{exact_s:.3}"),
+            format!("{exact_acc:.4}"),
+            format!("{anchor_s:.3}"),
+            format!("{anchor_acc:.4}"),
+        ]);
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        let _ = write!(
+            json,
+            "  {{\"n\": {}, \"exact_s\": {exact_s:.4}, \"exact_acc\": {exact_acc:.4}, \"anchor_s\": {anchor_s:.4}, \"anchor_acc\": {anchor_acc:.4}}}",
+            data.n()
+        );
+    }
+    json.push_str("\n]\n");
+    print!("{}", t.render());
+    save_json("figure4_scalability", &json);
+}

@@ -1,0 +1,152 @@
+//! Shared experiment machinery: profiles, seeded multi-run evaluation,
+//! and aggregate statistics.
+
+use std::time::Instant;
+use umsc_baselines::ClusteringMethod;
+use umsc_data::{benchmark, BenchmarkId, MultiViewDataset};
+use umsc_linalg::ops::{mean, std_dev};
+use umsc_metrics::MetricSuite;
+
+/// Execution profile: how big, how many repetitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchProfile {
+    /// Subsample each dataset to ≤240 points, 5 seeds (default; minutes).
+    Quick,
+    /// Published dataset sizes, 10 seeds (hours on one core).
+    Full,
+}
+
+impl BenchProfile {
+    /// Parses `--full` from argv.
+    pub fn from_args(args: &[String]) -> BenchProfile {
+        if args.iter().any(|a| a == "--full") {
+            BenchProfile::Full
+        } else {
+            BenchProfile::Quick
+        }
+    }
+
+    /// Point cap per dataset (None = published size).
+    pub fn max_n(&self) -> Option<usize> {
+        match self {
+            BenchProfile::Quick => Some(240),
+            BenchProfile::Full => None,
+        }
+    }
+
+    /// Number of evaluation seeds.
+    pub fn default_seeds(&self) -> usize {
+        match self {
+            BenchProfile::Quick => 5,
+            BenchProfile::Full => 10,
+        }
+    }
+
+    /// Loads a benchmark under this profile. The *data* seed is fixed (the
+    /// dataset is the dataset); evaluation seeds vary the solvers.
+    pub fn load(&self, id: BenchmarkId) -> MultiViewDataset {
+        let data = benchmark(id, 2026);
+        match self.max_n() {
+            Some(cap) => data.subsample(cap, 7),
+            None => data,
+        }
+    }
+}
+
+/// Aggregated metrics over several seeded runs of one method on one dataset.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Method display name.
+    pub method: String,
+    /// Dataset display name.
+    pub dataset: String,
+    /// Mean and sample std-dev of ACC over seeds.
+    pub acc: (f64, f64),
+    /// Mean and sample std-dev of NMI.
+    pub nmi: (f64, f64),
+    /// Mean and sample std-dev of purity.
+    pub purity: (f64, f64),
+    /// Mean wall-clock seconds per run.
+    pub seconds: f64,
+    /// Number of successful runs (failed runs are dropped and reported).
+    pub runs: usize,
+}
+
+/// Runs `method` on `data` once per seed and aggregates the metrics.
+pub fn evaluate_method(
+    method: &dyn ClusteringMethod,
+    data: &MultiViewDataset,
+    seeds: usize,
+) -> RunSummary {
+    let mut accs = Vec::with_capacity(seeds);
+    let mut nmis = Vec::with_capacity(seeds);
+    let mut purities = Vec::with_capacity(seeds);
+    let mut secs = Vec::with_capacity(seeds);
+    for seed in 0..seeds as u64 {
+        let t0 = Instant::now();
+        match method.cluster(data, seed) {
+            Ok(out) => {
+                secs.push(t0.elapsed().as_secs_f64());
+                let m = MetricSuite::evaluate(&out.labels, &data.labels);
+                accs.push(m.acc);
+                nmis.push(m.nmi);
+                purities.push(m.purity);
+            }
+            Err(e) => eprintln!("warning: {} failed on {} (seed {seed}): {e}", method.name(), data.name),
+        }
+    }
+    RunSummary {
+        method: method.name(),
+        dataset: data.name.clone(),
+        acc: (mean(&accs), std_dev(&accs)),
+        nmi: (mean(&nmis), std_dev(&nmis)),
+        purity: (mean(&purities), std_dev(&purities)),
+        seconds: mean(&secs),
+        runs: accs.len(),
+    }
+}
+
+/// Parses `--seeds N` from argv, defaulting per profile.
+pub fn seeds_from_args(args: &[String], profile: BenchProfile) -> usize {
+    args.iter()
+        .position(|a| a == "--seeds")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| profile.default_seeds())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umsc_baselines::UmscMethod;
+
+    #[test]
+    fn profile_parsing() {
+        let args: Vec<String> = vec!["t2".into(), "--full".into()];
+        assert_eq!(BenchProfile::from_args(&args), BenchProfile::Full);
+        assert_eq!(BenchProfile::from_args(&["t2".to_string()]), BenchProfile::Quick);
+        assert_eq!(seeds_from_args(&["--seeds".into(), "3".into()], BenchProfile::Quick), 3);
+        assert_eq!(seeds_from_args(&[], BenchProfile::Quick), 5);
+    }
+
+    #[test]
+    fn quick_profile_caps_n() {
+        let d = BenchProfile::Quick.load(BenchmarkId::Caltech7);
+        // Cap plus the per-class floor slack (the subsampler keeps every
+        // cluster k-NN-representable on heavily unbalanced data).
+        let floor = 240 / (2 * d.num_clusters);
+        assert!(d.n() <= 240 + d.num_clusters * floor, "n = {}", d.n());
+        assert!(d.n() < 400);
+        assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn evaluate_aggregates() {
+        let data = BenchProfile::Quick.load(BenchmarkId::Msrcv1).subsample(100, 0);
+        let m = UmscMethod::new(data.num_clusters);
+        let s = evaluate_method(&m, &data, 2);
+        assert_eq!(s.runs, 2);
+        assert!(s.acc.0 > 0.0 && s.acc.0 <= 1.0);
+        assert!(s.seconds > 0.0);
+    }
+}

@@ -1,0 +1,295 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use std::path::Path;
+use umsc_baselines::{standard_suite, ClusteringMethod, UmscMethod};
+use umsc_core::{AnchorAssigner, AnchorUmsc, AnchorUmscConfig, Metric, UmscConfig};
+use umsc_data::{benchmark, BenchmarkId, MultiViewDataset};
+use umsc_metrics::MetricSuite;
+
+/// Routes a parsed command line to its implementation.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    match args.command.as_deref() {
+        Some("generate") => generate(&args),
+        Some("info") => info(&args),
+        Some("cluster") => cluster(&args),
+        Some("assign") => assign(&args),
+        Some("evaluate") => evaluate(&args),
+        Some("methods") => {
+            for m in standard_suite(2) {
+                println!("{}", m.name());
+            }
+            println!("anchor-umsc");
+            Ok(())
+        }
+        Some(other) => Err(format!(
+            "unknown command {other:?}; try: generate, info, cluster, assign, evaluate, methods"
+        )),
+        None => {
+            println!("usage: umsc <generate|info|cluster|assign|evaluate|methods> [--options]");
+            println!("see crate docs / README for details");
+            Ok(())
+        }
+    }
+}
+
+fn generate(args: &Args) -> Result<(), String> {
+    let name = args.require("benchmark")?;
+    let id = BenchmarkId::parse(name)
+        .ok_or_else(|| format!("unknown benchmark {name:?}; known: {:?}", BenchmarkId::ALL.map(|b| b.name())))?;
+    let seed: u64 = args.get_parsed("seed", 0)?;
+    let out = args.require("out")?;
+    let data = benchmark(id, seed);
+    umsc_data::io::save_csv(&data, Path::new(out)).map_err(|e| e.to_string())?;
+    println!("wrote {} (n = {}, views = {:?}, clusters = {}) to {out}", data.name, data.n(), data.view_dims(), data.num_clusters);
+    Ok(())
+}
+
+fn load(args: &Args) -> Result<MultiViewDataset, String> {
+    let dir = args.require("data")?;
+    umsc_data::io::load_csv(Path::new(dir), dir).map_err(|e| e.to_string())
+}
+
+fn info(args: &Args) -> Result<(), String> {
+    let data = load(args)?;
+    println!("dataset:   {}", data.name);
+    println!("objects:   {}", data.n());
+    println!("views:     {} (dims {:?})", data.num_views(), data.view_dims());
+    println!("clusters:  {}", data.num_clusters);
+    let mut counts = vec![0usize; data.num_clusters];
+    for &l in &data.labels {
+        counts[l] += 1;
+    }
+    println!("balance:   {counts:?}");
+    Ok(())
+}
+
+fn cluster(args: &Args) -> Result<(), String> {
+    let data = load(args)?;
+    let c: usize = args.get_parsed("clusters", data.num_clusters)?;
+    let seed: u64 = args.get_parsed("seed", 0)?;
+    let method_name = args.get("method").unwrap_or("umsc").to_ascii_lowercase();
+    let metric = match args.get("metric").unwrap_or("euclidean") {
+        "euclidean" => Metric::Euclidean,
+        "cosine" => Metric::Cosine,
+        other => return Err(format!("unknown --metric {other:?} (euclidean|cosine)")),
+    };
+
+    let t0 = std::time::Instant::now();
+    let (labels, weights) = if method_name == "anchor-umsc" {
+        let anchors: usize = args.get_parsed("anchors", 100)?;
+        let lambda: f64 = args.get_parsed("lambda", 1.0)?;
+        let cfg = AnchorUmscConfig::new(c).with_anchors(anchors).with_lambda(lambda).with_seed(seed);
+        let model = AnchorUmsc::new(cfg).fit_model(&data).map_err(|e| e.to_string())?;
+        if let Some(path) = args.get("save-model") {
+            model.assigner.save(Path::new(path)).map_err(|e| e.to_string())?;
+            println!("saved assignable model to {path}");
+        }
+        let res = model.result;
+        (res.labels, Some(res.view_weights))
+    } else if method_name == "umsc" {
+        let lambda: f64 = args.get_parsed("lambda", 1.0)?;
+        let cfg = UmscConfig::new(c).with_lambda(lambda).with_metric(metric).with_seed(seed);
+        let out = UmscMethod::with_config(cfg, "UMSC").cluster(&data, seed).map_err(|e| e.to_string())?;
+        (out.labels, out.view_weights)
+    } else {
+        let method = standard_suite(c)
+            .into_iter()
+            .find(|m| m.name().to_ascii_lowercase().contains(&method_name))
+            .ok_or_else(|| format!("unknown --method {method_name:?}; run `umsc methods`"))?;
+        let out = method.cluster(&data, seed).map_err(|e| e.to_string())?;
+        (out.labels, out.view_weights)
+    };
+    let elapsed = t0.elapsed();
+
+    if let Some(out) = args.get("out") {
+        let body: String = labels.iter().map(|l| format!("{l}\n")).collect();
+        std::fs::write(out, body).map_err(|e| e.to_string())?;
+        println!("wrote {} labels to {out}", labels.len());
+    }
+    println!("method:  {method_name} ({elapsed:.2?})");
+    if let Some(w) = weights {
+        println!("weights: {:?}", w.iter().map(|x| (x * 1000.0).round() / 1000.0).collect::<Vec<_>>());
+    }
+    // Ground truth travels with the CSV layout, so always report metrics.
+    let m = MetricSuite::evaluate(&labels, &data.labels);
+    println!("ACC = {:.4}  NMI = {:.4}  Purity = {:.4}  ARI = {:.4}", m.acc, m.nmi, m.purity, m.ari);
+    Ok(())
+}
+
+fn assign(args: &Args) -> Result<(), String> {
+    let model_path = args.require("model")?;
+    let assigner = AnchorAssigner::load(Path::new(model_path)).map_err(|e| e.to_string())?;
+    let data = load(args)?;
+    let labels = assigner.assign(&data.views).map_err(|e| e.to_string())?;
+    if let Some(out) = args.get("out") {
+        let body: String = labels.iter().map(|l| format!("{l}\n")).collect();
+        std::fs::write(out, body).map_err(|e| e.to_string())?;
+        println!("wrote {} labels to {out}", labels.len());
+    }
+    let m = MetricSuite::evaluate(&labels, &data.labels);
+    println!("ACC = {:.4}  NMI = {:.4}  Purity = {:.4}", m.acc, m.nmi, m.purity);
+    Ok(())
+}
+
+fn evaluate(args: &Args) -> Result<(), String> {
+    let pred = read_labels(args.require("pred")?)?;
+    let truth = read_labels(args.require("truth")?)?;
+    if pred.len() != truth.len() {
+        return Err(format!("label lengths differ: {} vs {}", pred.len(), truth.len()));
+    }
+    let m = MetricSuite::evaluate(&pred, &truth);
+    println!("ACC     = {:.4}", m.acc);
+    println!("NMI     = {:.4}", m.nmi);
+    println!("Purity  = {:.4}", m.purity);
+    println!("ARI     = {:.4}", m.ari);
+    println!("F-score = {:.4}", m.f_score);
+    println!("V-meas  = {:.4}", umsc_metrics::v_measure(&pred, &truth));
+    Ok(())
+}
+
+fn read_labels(path: &str) -> Result<Vec<usize>, String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    raw.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| l.trim().parse::<usize>().map_err(|e| format!("{path}: bad label {l:?}: {e}")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("umsc_cli_{tag}_{}", std::process::id()))
+    }
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn generate_info_cluster_evaluate_flow() {
+        let dir = tmp("flow");
+        let _ = std::fs::remove_dir_all(&dir);
+        // Small synthetic dataset written through the library directly
+        // (generate would write a full benchmark; keep the test fast).
+        let data = umsc_data::synth::MultiViewGmm::new(
+            "cli",
+            2,
+            12,
+            vec![umsc_data::ViewSpec::clean(3), umsc_data::ViewSpec::clean(4)],
+        )
+        .generate(0);
+        umsc_data::io::save_csv(&data, &dir).unwrap();
+
+        dispatch(&argv(&["info", "--data", dir.to_str().unwrap()])).unwrap();
+
+        let labels_out = dir.join("pred.csv");
+        dispatch(&argv(&[
+            "cluster",
+            "--data",
+            dir.to_str().unwrap(),
+            "--clusters",
+            "2",
+            "--out",
+            labels_out.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        dispatch(&argv(&[
+            "evaluate",
+            "--pred",
+            labels_out.to_str().unwrap(),
+            "--truth",
+            dir.join("labels.csv").to_str().unwrap(),
+        ]))
+        .unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_command_and_method_rejected() {
+        assert!(dispatch(&argv(&["frobnicate"])).is_err());
+        let dir = tmp("badmethod");
+        let _ = std::fs::remove_dir_all(&dir);
+        let data = umsc_data::synth::MultiViewGmm::new("x", 2, 6, vec![umsc_data::ViewSpec::clean(2)]).generate(0);
+        umsc_data::io::save_csv(&data, &dir).unwrap();
+        let err = dispatch(&argv(&[
+            "cluster",
+            "--data",
+            dir.to_str().unwrap(),
+            "--method",
+            "nonexistent-method",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown --method"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn evaluate_length_mismatch() {
+        let d = tmp("eval");
+        let _ = std::fs::create_dir_all(&d);
+        std::fs::write(d.join("a.csv"), "0\n1\n").unwrap();
+        std::fs::write(d.join("b.csv"), "0\n").unwrap();
+        let err = dispatch(&argv(&[
+            "evaluate",
+            "--pred",
+            d.join("a.csv").to_str().unwrap(),
+            "--truth",
+            d.join("b.csv").to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("differ"));
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn methods_lists() {
+        dispatch(&argv(&["methods"])).unwrap();
+        dispatch(&[]).unwrap();
+    }
+
+    #[test]
+    fn anchor_method_runs_and_model_round_trips() {
+        let dir = tmp("anchor");
+        let _ = std::fs::remove_dir_all(&dir);
+        let data = umsc_data::synth::MultiViewGmm::new(
+            "a",
+            2,
+            15,
+            vec![umsc_data::ViewSpec::clean(3)],
+        )
+        .generate(1);
+        umsc_data::io::save_csv(&data, &dir).unwrap();
+        let model_path = dir.join("model.bin");
+        dispatch(&argv(&[
+            "cluster",
+            "--data",
+            dir.to_str().unwrap(),
+            "--method",
+            "anchor-umsc",
+            "--anchors",
+            "10",
+            "--save-model",
+            model_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(model_path.exists());
+        // Assign the same data through the persisted model.
+        dispatch(&argv(&[
+            "assign",
+            "--model",
+            model_path.to_str().unwrap(),
+            "--data",
+            dir.to_str().unwrap(),
+            "--out",
+            dir.join("assigned.csv").to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(dir.join("assigned.csv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

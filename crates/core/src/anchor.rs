@@ -1,0 +1,767 @@
+//! Large-scale unified multi-view spectral clustering on **anchor graphs**.
+//!
+//! The dense solver ([`crate::Umsc`]) costs O(n²)–O(n³) per view. This
+//! module implements the scalable variant the one-stage literature reaches
+//! for on large `n`: every view's graph is the anchor (bipartite) graph of
+//! [`umsc_graph::anchor`], whose normalized Laplacian is `I − B_v·B_vᵀ`
+//! with a thin factor `B_v ∈ R^{n×m}` (`m ≪ n` anchors). Every solver step
+//! then works matrix-free:
+//!
+//! * `tr(Fᵀ L_v F) = c − ‖B_vᵀF‖²_F` — O(n·m·c);
+//! * warm-start embedding — Lanczos on the shifted fused operator,
+//!   O(n·m) per application;
+//! * GPI F-step — `M = s·F + Σ_v w_v B_v(B_vᵀF) + λ·Y·Rᵀ` (the shift
+//!   `η = 2s ≥ λ_max(Σ w_v L_v)` since each normalized Laplacian is
+//!   bounded by `2I`), then a thin polar decomposition;
+//! * R/Y steps — identical to the dense path (they only touch `n × c`).
+//!
+//! Total per-iteration cost O(n·m·c): linear in the number of points.
+
+use crate::config::Weighting;
+use crate::error::UmscError;
+use crate::indicator::{discretize_rows, labels_to_indicator};
+use crate::solver::{init_rotation, IterationStats, UmscResult};
+use crate::Result;
+use umsc_data::MultiViewDataset;
+use umsc_linalg::{lanczos_smallest, polar_orthogonalize, procrustes, LanczosConfig, LinearOperator, Matrix};
+
+/// Configuration of the anchor-based solver.
+#[derive(Debug, Clone)]
+pub struct AnchorUmscConfig {
+    /// Number of clusters `c`.
+    pub num_clusters: usize,
+    /// Number of anchors `m` per view (clamped to `n`).
+    pub anchors: usize,
+    /// Nearest anchors each point connects to.
+    pub anchor_neighbors: usize,
+    /// Trade-off λ (same dimensionless semantics as the dense solver).
+    pub lambda: f64,
+    /// View weighting (Auto or Uniform; Fixed also accepted).
+    pub weighting: Weighting,
+    /// Outer iteration cap.
+    pub max_iter: usize,
+    /// Relative stopping tolerance.
+    pub tol: f64,
+    /// Seed for anchor selection and Lanczos.
+    pub seed: u64,
+}
+
+impl AnchorUmscConfig {
+    /// Defaults: `m = 100` anchors, `k = 5` anchor neighbours, λ = 1.
+    pub fn new(num_clusters: usize) -> Self {
+        AnchorUmscConfig {
+            num_clusters,
+            anchors: 100,
+            anchor_neighbors: 5,
+            lambda: 1.0,
+            weighting: Weighting::Auto,
+            max_iter: 50,
+            tol: 1e-6,
+            seed: 0,
+        }
+    }
+
+    /// Sets the anchor count.
+    pub fn with_anchors(mut self, m: usize) -> Self {
+        self.anchors = m;
+        self
+    }
+
+    /// Sets λ.
+    pub fn with_lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The anchor-based unified model.
+///
+/// ```
+/// use umsc_core::{AnchorUmsc, AnchorUmscConfig};
+/// use umsc_data::shapes::two_moons_multiview;
+///
+/// let data = two_moons_multiview(150, 0.05, 42);
+/// let cfg = AnchorUmscConfig::new(2).with_anchors(60);
+/// let result = AnchorUmsc::new(cfg).fit(&data).unwrap();
+/// assert_eq!(result.labels.len(), 150);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AnchorUmsc {
+    config: AnchorUmscConfig,
+}
+
+impl AnchorUmsc {
+    /// Creates the model.
+    pub fn new(config: AnchorUmscConfig) -> Self {
+        AnchorUmsc { config }
+    }
+
+    /// Fits on a multi-view dataset: builds per-view anchor factors, then
+    /// runs the matrix-free one-stage loop.
+    pub fn fit(&self, data: &MultiViewDataset) -> Result<UmscResult> {
+        self.fit_model(data).map(|m| m.result)
+    }
+
+    /// Like [`AnchorUmsc::fit`] but also returns an [`AnchorModel`] that
+    /// can assign **out-of-sample** points to the learned clusters via the
+    /// Nyström extension (see `AnchorModel::assign`).
+    pub fn fit_model(&self, data: &MultiViewDataset) -> Result<AnchorModel> {
+        data.validate().map_err(UmscError::InvalidInput)?;
+        let cfg = &self.config;
+        let n = data.n();
+        let c = cfg.num_clusters;
+        if c == 0 || c > n {
+            return Err(UmscError::InvalidInput(format!("bad num_clusters {c} for n = {n}")));
+        }
+        let mut factors = Vec::with_capacity(data.num_views());
+        let mut anchors = Vec::with_capacity(data.num_views());
+        let mut col_inv_sqrt = Vec::with_capacity(data.num_views());
+        for (v, x) in data.views.iter().enumerate() {
+            let m = cfg.anchors.min(n).max(1);
+            let k = cfg.anchor_neighbors.min(m).max(1);
+            let anc = umsc_graph::select_anchors(x, m, cfg.seed ^ ((v as u64) << 32));
+            let z = umsc_graph::anchor_weights(x, &anc, k);
+            // Column scales Λ^{-1/2}, kept for out-of-sample rows.
+            let mut col_sums = vec![0.0f64; m];
+            for i in 0..n {
+                for (j, &val) in z.row(i).iter().enumerate() {
+                    col_sums[j] += val;
+                }
+            }
+            let inv: Vec<f64> =
+                col_sums.iter().map(|&s| if s > 0.0 { 1.0 / s.sqrt() } else { 0.0 }).collect();
+            let mut b = z;
+            for i in 0..n {
+                for (j, val) in b.row_mut(i).iter_mut().enumerate() {
+                    *val *= inv[j];
+                }
+            }
+            factors.push(b);
+            anchors.push(anc);
+            col_inv_sqrt.push(inv);
+        }
+        let result = self.fit_factors(&factors)?;
+
+        // Nyström data: per-view projections B_vᵀF and Ritz values of the
+        // fused operator on the embedding columns.
+        let weights_raw: Vec<f64> = result.view_weights.clone();
+        let projections: Vec<Matrix> =
+            factors.iter().map(|b| b.matmul_transpose_a(&result.embedding)).collect();
+        let f = &result.embedding;
+        let mut ritz = vec![0.0f64; result.embedding.cols()];
+        for (j, r) in ritz.iter_mut().enumerate() {
+            let col = f.col(j);
+            let mut opx = vec![0.0f64; n];
+            for (b, &w) in factors.iter().zip(weights_raw.iter()) {
+                let btx = b.matvec_transpose(&col);
+                let bbtx = b.matvec(&btx);
+                for (o, &v) in opx.iter_mut().zip(bbtx.iter()) {
+                    *o += w * v;
+                }
+            }
+            *r = umsc_linalg::ops::dot(&col, &opx);
+        }
+        let rotation = result.rotation.clone();
+        Ok(AnchorModel {
+            result,
+            assigner: AnchorAssigner {
+                anchors,
+                col_inv_sqrt,
+                anchor_neighbors: cfg.anchor_neighbors,
+                weights: weights_raw,
+                projections,
+                ritz,
+                rotation,
+            },
+        })
+    }
+
+    /// Fits from precomputed per-view normalized anchor factors `B_v`
+    /// (each `n × m_v`; the affinity is `B_v·B_vᵀ`).
+    pub fn fit_factors(&self, factors: &[Matrix]) -> Result<UmscResult> {
+        let cfg = &self.config;
+        if factors.is_empty() {
+            return Err(UmscError::InvalidInput("no anchor factors given".into()));
+        }
+        let n = factors[0].rows();
+        for (v, b) in factors.iter().enumerate() {
+            if b.rows() != n {
+                return Err(UmscError::InvalidInput(format!("factor {v} has {} rows, expected {n}", b.rows())));
+            }
+        }
+        let c = cfg.num_clusters;
+        if c > n {
+            return Err(UmscError::InvalidInput(format!("num_clusters {c} exceeds n = {n}")));
+        }
+        if let Weighting::Fixed(w) = &cfg.weighting {
+            if w.len() != factors.len() {
+                return Err(UmscError::InvalidInput("fixed weight count mismatch".into()));
+            }
+        }
+        if c == 1 {
+            return Ok(UmscResult {
+                labels: vec![0; n],
+                embedding: Matrix::filled(n, 1, 1.0 / (n as f64).sqrt()),
+                rotation: Matrix::identity(1),
+                indicator: Matrix::filled(n, 1, 1.0),
+                view_weights: vec![1.0 / factors.len() as f64; factors.len()],
+                history: Vec::new(),
+                converged: true,
+            });
+        }
+        let lambda_eff = cfg.lambda * c as f64 / (10.0 * n as f64);
+
+        // Warm start on the fused operator.
+        let nviews = factors.len();
+        let mut weights = self.normalize(&vec![1.0; nviews]);
+        let mut f = fused_embedding(factors, &weights, c, cfg.seed)?;
+        if matches!(cfg.weighting, Weighting::Auto) {
+            let mut prev = f64::INFINITY;
+            for _ in 0..cfg.max_iter.max(1) {
+                weights = self.reweight(factors, &f);
+                f = fused_embedding(factors, &weights, c, cfg.seed)?;
+                let obj = self.embedding_objective(factors, &f);
+                if (prev - obj).abs() <= cfg.tol * (1.0 + prev.abs()) {
+                    break;
+                }
+                prev = obj;
+            }
+        } else {
+            weights = self.fixed_weights(nviews);
+            f = fused_embedding(factors, &weights, c, cfg.seed)?;
+        }
+
+        let mut r = init_rotation(&f)?;
+        let mut labels = discretize_rows(&f.matmul(&r));
+        let mut y = labels_to_indicator(&labels, c);
+        let mut history: Vec<IterationStats> = Vec::with_capacity(cfg.max_iter);
+        let mut converged = false;
+
+        for _iter in 0..cfg.max_iter {
+            if matches!(cfg.weighting, Weighting::Auto) {
+                weights = self.reweight(factors, &f);
+            }
+            let s: f64 = weights.iter().sum();
+
+            // Matrix-free GPI: M = s·F + Σ w_v B_v(B_vᵀF) + λ·Y·Rᵀ.
+            let mut b_term = y.matmul_transpose_b(&r);
+            b_term.scale_mut(lambda_eff);
+            for _inner in 0..20 {
+                let mut m_mat = f.scale(s);
+                for (b, &w) in factors.iter().zip(weights.iter()) {
+                    let btf = b.matmul_transpose_a(&f);
+                    let bbtf = b.matmul(&btf);
+                    m_mat.axpy(w, &bbtf);
+                }
+                m_mat.axpy(1.0, &b_term);
+                let f_new = polar_orthogonalize(&m_mat)?;
+                let delta = (&f_new - &f).frobenius_norm();
+                f = f_new;
+                if delta < 1e-9 * (c as f64).sqrt() {
+                    break;
+                }
+            }
+
+            // R-step on the row-normalized embedding; Y-step by argmax.
+            let mut f_tilde = f.clone();
+            for i in 0..n {
+                umsc_linalg::ops::normalize(f_tilde.row_mut(i));
+            }
+            r = procrustes(&f_tilde.matmul_transpose_a(&y))?;
+            labels = discretize_rows(&f.matmul(&r));
+            y = labels_to_indicator(&labels, c);
+
+            // Bookkeeping.
+            let emb = self.embedding_objective(factors, &f);
+            let diff = &f.matmul(&r) - &y;
+            let rot = lambda_eff * diff.frobenius_norm().powi(2);
+            let objective = emb + rot;
+            let prev = history.last().map(|st: &IterationStats| st.objective);
+            history.push(IterationStats {
+                objective,
+                embedding_term: emb,
+                rotation_term: rot,
+                weights: self.normalize(&weights),
+            });
+            if let Some(p) = prev {
+                if (p - objective).abs() <= cfg.tol * (1.0 + p.abs()) {
+                    converged = true;
+                    break;
+                }
+            }
+        }
+
+        Ok(UmscResult {
+            labels,
+            embedding: f,
+            rotation: r,
+            indicator: y,
+            view_weights: self.normalize(&weights),
+            history,
+            converged,
+        })
+    }
+
+    /// `tr(Fᵀ L_v F) = c − ‖B_vᵀF‖²` per view, then the scheme's objective.
+    fn embedding_objective(&self, factors: &[Matrix], f: &Matrix) -> f64 {
+        let traces = view_traces(factors, f);
+        match &self.config.weighting {
+            Weighting::Auto => traces.iter().map(|t| t.max(0.0).sqrt()).sum(),
+            Weighting::Uniform => traces.iter().sum::<f64>() / traces.len() as f64,
+            Weighting::Fixed(w) => {
+                let s: f64 = w.iter().sum();
+                w.iter().zip(traces.iter()).map(|(&wi, &t)| wi / s * t).sum()
+            }
+        }
+    }
+
+    fn reweight(&self, factors: &[Matrix], f: &Matrix) -> Vec<f64> {
+        view_traces(factors, f).iter().map(|t| 1.0 / (2.0 * t.max(1e-10).sqrt())).collect()
+    }
+
+    fn fixed_weights(&self, nviews: usize) -> Vec<f64> {
+        match &self.config.weighting {
+            Weighting::Fixed(w) => {
+                let s: f64 = w.iter().sum();
+                w.iter().map(|&x| x / s).collect()
+            }
+            _ => vec![1.0 / nviews as f64; nviews],
+        }
+    }
+
+    fn normalize(&self, w: &[f64]) -> Vec<f64> {
+        let s: f64 = w.iter().sum();
+        if s > 0.0 {
+            w.iter().map(|&x| x / s).collect()
+        } else {
+            vec![1.0 / w.len().max(1) as f64; w.len()]
+        }
+    }
+}
+
+/// A fitted anchor model able to assign out-of-sample points.
+///
+/// The Nyström extension of the fused anchor operator: a new point's
+/// embedding is
+///
+/// ```text
+/// f_new ≈ ( Σ_v w_v · b_newᵛ · (B_vᵀF) ) · diag(1/ρ_j)
+/// ```
+///
+/// where `b_newᵛ` is the point's normalized anchor row in view `v`
+/// (reusing the training column scales) and `ρ_j` are the Ritz values of
+/// the fused operator on the learned embedding columns. The label is the
+/// argmax of `f_new · R` — the same discretization the training points got.
+#[derive(Debug, Clone)]
+pub struct AnchorModel {
+    /// The training-time fit (labels, embedding, rotation, weights, trace).
+    pub result: UmscResult,
+    /// Everything needed to assign out-of-sample points (persistable via
+    /// [`AnchorAssigner::save`] / [`AnchorAssigner::load`]).
+    pub assigner: AnchorAssigner,
+}
+
+impl AnchorModel {
+    /// Assigns each row of the given per-view feature matrices (one matrix
+    /// per view, same row count) to a learned cluster. Delegates to the
+    /// embedded [`AnchorAssigner`].
+    pub fn assign(&self, views: &[Matrix]) -> Result<Vec<usize>> {
+        self.assigner.assign(views)
+    }
+}
+
+/// The assignment-relevant slice of a fitted anchor model: per-view
+/// anchors and normalization, learned weights, Nyström projections, Ritz
+/// values and the rotation. Small (independent of `n`), persistable, and
+/// sufficient to label new points forever after.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnchorAssigner {
+    anchors: Vec<Matrix>,
+    col_inv_sqrt: Vec<Vec<f64>>,
+    anchor_neighbors: usize,
+    weights: Vec<f64>,
+    projections: Vec<Matrix>,
+    ritz: Vec<f64>,
+    rotation: Matrix,
+}
+
+impl AnchorAssigner {
+    /// Assigns each row of the given per-view feature matrices (one matrix
+    /// per view, same row count) to a learned cluster.
+    ///
+    /// # Errors
+    /// Rejects view-count or feature-dimension mismatches.
+    pub fn assign(&self, views: &[Matrix]) -> Result<Vec<usize>> {
+        if views.len() != self.anchors.len() {
+            return Err(UmscError::InvalidInput(format!(
+                "expected {} views, got {}",
+                self.anchors.len(),
+                views.len()
+            )));
+        }
+        let n_new = views.first().map_or(0, |v| v.rows());
+        for (v, x) in views.iter().enumerate() {
+            if x.rows() != n_new {
+                return Err(UmscError::InvalidInput(format!("view {v} row count mismatch")));
+            }
+            if x.cols() != self.anchors[v].cols() {
+                return Err(UmscError::InvalidInput(format!(
+                    "view {v} has {} features, trained with {}",
+                    x.cols(),
+                    self.anchors[v].cols()
+                )));
+            }
+        }
+        let c = self.rotation.rows();
+        let mut fused = Matrix::zeros(n_new, c);
+        for (v, x) in views.iter().enumerate() {
+            let m = self.anchors[v].rows();
+            let k = self.anchor_neighbors.min(m).max(1);
+            let z = umsc_graph::anchor_weights(x, &self.anchors[v], k);
+            // Apply training column scales, then project.
+            let mut b = z;
+            for i in 0..n_new {
+                for (j, val) in b.row_mut(i).iter_mut().enumerate() {
+                    *val *= self.col_inv_sqrt[v][j];
+                }
+            }
+            let contrib = b.matmul(&self.projections[v]);
+            fused.axpy(self.weights[v], &contrib);
+        }
+        for i in 0..n_new {
+            for (j, val) in fused.row_mut(i).iter_mut().enumerate() {
+                let rho = self.ritz[j];
+                if rho.abs() > 1e-10 {
+                    *val /= rho;
+                }
+            }
+        }
+        let fr = fused.matmul(&self.rotation);
+        Ok((0..n_new)
+            .map(|i| umsc_linalg::ops::argmax(fr.row(i)).unwrap_or(0))
+            .collect())
+    }
+
+    /// Persists the assigner to `path` in a compact self-describing binary
+    /// format (magic header + little-endian f64 blocks). The file is
+    /// independent of `n` — only anchors/projections are stored — so a
+    /// model trained on millions of points saves in kilobytes.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        use std::io::Write;
+        let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+        out.write_all(MODEL_MAGIC)?;
+        write_u64(&mut out, self.anchors.len() as u64)?;
+        write_u64(&mut out, self.anchor_neighbors as u64)?;
+        write_matrix(&mut out, &self.rotation)?;
+        write_vec(&mut out, &self.ritz)?;
+        write_vec(&mut out, &self.weights)?;
+        for v in 0..self.anchors.len() {
+            write_matrix(&mut out, &self.anchors[v])?;
+            write_vec(&mut out, &self.col_inv_sqrt[v])?;
+            write_matrix(&mut out, &self.projections[v])?;
+        }
+        out.flush()
+    }
+
+    /// Loads an assigner previously written by [`AnchorAssigner::save`].
+    pub fn load(path: &std::path::Path) -> std::io::Result<AnchorAssigner> {
+        use std::io::Read;
+        let mut input = std::io::BufReader::new(std::fs::File::open(path)?);
+        let mut magic = [0u8; 8];
+        input.read_exact(&mut magic)?;
+        if &magic != MODEL_MAGIC {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{}: not an umsc anchor model (bad magic)", path.display()),
+            ));
+        }
+        let nviews = read_u64(&mut input)? as usize;
+        if nviews == 0 || nviews > 1024 {
+            return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "implausible view count"));
+        }
+        let anchor_neighbors = read_u64(&mut input)? as usize;
+        let rotation = read_matrix(&mut input)?;
+        let ritz = read_vec(&mut input)?;
+        let weights = read_vec(&mut input)?;
+        let mut anchors = Vec::with_capacity(nviews);
+        let mut col_inv_sqrt = Vec::with_capacity(nviews);
+        let mut projections = Vec::with_capacity(nviews);
+        for _ in 0..nviews {
+            anchors.push(read_matrix(&mut input)?);
+            col_inv_sqrt.push(read_vec(&mut input)?);
+            projections.push(read_matrix(&mut input)?);
+        }
+        if weights.len() != nviews {
+            return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "weight count mismatch"));
+        }
+        Ok(AnchorAssigner { anchors, col_inv_sqrt, anchor_neighbors, weights, projections, ritz, rotation })
+    }
+}
+
+const MODEL_MAGIC: &[u8; 8] = b"UMSCAM01";
+
+fn write_u64(w: &mut impl std::io::Write, v: u64) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u64(r: &mut impl std::io::Read) -> std::io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn write_vec(w: &mut impl std::io::Write, v: &[f64]) -> std::io::Result<()> {
+    write_u64(w, v.len() as u64)?;
+    for &x in v {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_vec(r: &mut impl std::io::Read) -> std::io::Result<Vec<f64>> {
+    let len = read_u64(r)? as usize;
+    if len > (1 << 28) {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "implausible vector length"));
+    }
+    let mut out = Vec::with_capacity(len);
+    let mut buf = [0u8; 8];
+    for _ in 0..len {
+        r.read_exact(&mut buf)?;
+        out.push(f64::from_le_bytes(buf));
+    }
+    Ok(out)
+}
+
+fn write_matrix(w: &mut impl std::io::Write, m: &Matrix) -> std::io::Result<()> {
+    write_u64(w, m.rows() as u64)?;
+    write_u64(w, m.cols() as u64)?;
+    for &x in m.as_slice() {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_matrix(r: &mut impl std::io::Read) -> std::io::Result<Matrix> {
+    let rows = read_u64(r)? as usize;
+    let cols = read_u64(r)? as usize;
+    if rows.saturating_mul(cols) > (1 << 28) {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "implausible matrix size"));
+    }
+    let mut data = Vec::with_capacity(rows * cols);
+    let mut buf = [0u8; 8];
+    for _ in 0..rows * cols {
+        r.read_exact(&mut buf)?;
+        data.push(f64::from_le_bytes(buf));
+    }
+    Ok(Matrix::from_vec(rows, cols, data))
+}
+
+fn view_traces(factors: &[Matrix], f: &Matrix) -> Vec<f64> {
+    let c = f.cols() as f64;
+    factors
+        .iter()
+        .map(|b| {
+            let btf = b.matmul_transpose_a(f);
+            (c - btf.frobenius_norm().powi(2)).max(0.0)
+        })
+        .collect()
+}
+
+/// Shifted fused operator `(s + ε)·I − Σ w_v B_v B_vᵀ`: its smallest
+/// eigenvectors are the largest of the fused anchor affinity, i.e. the
+/// smallest of the fused normalized Laplacian.
+struct ShiftedFusedOp<'a> {
+    factors: &'a [Matrix],
+    weights: &'a [f64],
+    shift: f64,
+}
+
+impl LinearOperator for ShiftedFusedOp<'_> {
+    fn dim(&self) -> usize {
+        self.factors[0].rows()
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+            *yi = self.shift * xi;
+        }
+        for (b, &w) in self.factors.iter().zip(self.weights.iter()) {
+            let btx = b.matvec_transpose(x);
+            let bbtx = b.matvec(&btx);
+            for (yi, &v) in y.iter_mut().zip(bbtx.iter()) {
+                *yi -= w * v;
+            }
+        }
+    }
+}
+
+fn fused_embedding(factors: &[Matrix], weights: &[f64], c: usize, seed: u64) -> Result<Matrix> {
+    let s: f64 = weights.iter().sum();
+    let op = ShiftedFusedOp { factors, weights, shift: s + 1e-9 };
+    let cfg = LanczosConfig { seed, initial_subspace: (2 * c + 20).min(op.dim()), ..Default::default() };
+    let (_, vecs) = lanczos_smallest(&op, c, &cfg)?;
+    Ok(vecs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umsc_data::synth::{MultiViewGmm, ViewSpec};
+    use umsc_metrics::clustering_accuracy;
+
+    fn gmm(n_per: usize, seed: u64) -> MultiViewDataset {
+        let mut gen = MultiViewGmm::new(
+            "anchor",
+            3,
+            n_per,
+            vec![ViewSpec::clean(6), ViewSpec::clean(8)],
+        );
+        gen.separation = 6.0;
+        gen.generate(seed)
+    }
+
+    #[test]
+    fn recovers_clusters_like_dense() {
+        let data = gmm(60, 1);
+        let res = AnchorUmsc::new(AnchorUmscConfig::new(3).with_anchors(40)).fit(&data).unwrap();
+        let acc = clustering_accuracy(&res.labels, &data.labels);
+        assert!(acc > 0.95, "anchor ACC {acc}");
+        // Valid structures.
+        assert!(res.embedding.matmul_transpose_a(&res.embedding).approx_eq(&Matrix::identity(3), 1e-6));
+        assert!((res.view_weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn objective_monotone() {
+        let data = gmm(50, 2);
+        let res = AnchorUmsc::new(AnchorUmscConfig::new(3).with_anchors(30)).fit(&data).unwrap();
+        for w in res.history.windows(2) {
+            assert!(
+                w[1].objective <= w[0].objective + 1e-5 * (1.0 + w[0].objective.abs()),
+                "{} -> {}",
+                w[0].objective,
+                w[1].objective
+            );
+        }
+    }
+
+    #[test]
+    fn anchors_clamped_to_n() {
+        let data = gmm(5, 3); // n = 15 < default anchors
+        let res = AnchorUmsc::new(AnchorUmscConfig::new(3)).fit(&data).unwrap();
+        assert_eq!(res.labels.len(), 15);
+    }
+
+    #[test]
+    fn deterministic() {
+        let data = gmm(40, 4);
+        let a = AnchorUmsc::new(AnchorUmscConfig::new(3).with_anchors(25).with_seed(9)).fit(&data).unwrap();
+        let b = AnchorUmsc::new(AnchorUmscConfig::new(3).with_anchors(25).with_seed(9)).fit(&data).unwrap();
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn noisy_view_downweighted() {
+        let mut data = gmm(60, 5);
+        data.corrupt_view(1, 1.0, 17);
+        let res = AnchorUmsc::new(AnchorUmscConfig::new(3).with_anchors(40)).fit(&data).unwrap();
+        assert!(res.view_weights[1] < res.view_weights[0], "{:?}", res.view_weights);
+        let acc = clustering_accuracy(&res.labels, &data.labels);
+        assert!(acc > 0.9, "ACC {acc}");
+    }
+
+    #[test]
+    fn out_of_sample_assignment_matches_training_clusters() {
+        // Split one dataset: fit on a training subset, assign the held-out
+        // rows, and check them against held-out truth *through the
+        // training permutation* (assigned labels live in training-label
+        // space, so compare via matching ACC).
+        let full = gmm(60, 7); // 180 points, labels in blocks of 60
+        let (mut train_idx, mut test_idx) = (Vec::new(), Vec::new());
+        for i in 0..full.n() {
+            if i % 3 == 2 {
+                test_idx.push(i);
+            } else {
+                train_idx.push(i);
+            }
+        }
+        let take = |idx: &[usize]| MultiViewDataset {
+            name: "split".into(),
+            views: full
+                .views
+                .iter()
+                .map(|x| {
+                    let mut m = Matrix::zeros(idx.len(), x.cols());
+                    for (r, &i) in idx.iter().enumerate() {
+                        m.row_mut(r).copy_from_slice(x.row(i));
+                    }
+                    m
+                })
+                .collect(),
+            labels: idx.iter().map(|&i| full.labels[i]).collect(),
+            num_clusters: full.num_clusters,
+        };
+        let train = take(&train_idx);
+        let test = take(&test_idx);
+
+        let model = AnchorUmsc::new(AnchorUmscConfig::new(3).with_anchors(40)).fit_model(&train).unwrap();
+        let train_acc = clustering_accuracy(&model.result.labels, &train.labels);
+        assert!(train_acc > 0.95, "training ACC {train_acc}");
+
+        let assigned = model.assign(&test.views).unwrap();
+        let acc = clustering_accuracy(&assigned, &test.labels);
+        assert!(acc > 0.9, "out-of-sample ACC {acc}");
+    }
+
+    #[test]
+    fn assigner_save_load_round_trip() {
+        let train = gmm(30, 11);
+        let model = AnchorUmsc::new(AnchorUmscConfig::new(3).with_anchors(25)).fit_model(&train).unwrap();
+        let path = std::env::temp_dir().join(format!("umsc_model_{}.bin", std::process::id()));
+        model.assigner.save(&path).unwrap();
+        let loaded = AnchorAssigner::load(&path).unwrap();
+        assert_eq!(loaded, model.assigner);
+        // Loaded assigner labels points identically.
+        let a = model.assign(&train.views).unwrap();
+        let b = loaded.assign(&train.views).unwrap();
+        assert_eq!(a, b);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let path = std::env::temp_dir().join(format!("umsc_garbage_{}.bin", std::process::id()));
+        std::fs::write(&path, b"definitely not a model").unwrap();
+        let err = AnchorAssigner::load(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn assign_validates_input() {
+        let train = gmm(20, 9);
+        let model = AnchorUmsc::new(AnchorUmscConfig::new(3).with_anchors(15)).fit_model(&train).unwrap();
+        // Wrong view count.
+        assert!(model.assign(&train.views[..1]).is_err());
+        // Wrong feature dimension.
+        let bad = vec![Matrix::zeros(4, 99), Matrix::zeros(4, 8)];
+        assert!(model.assign(&bad).is_err());
+        // Empty batch is fine.
+        let empty = vec![Matrix::zeros(0, 6), Matrix::zeros(0, 8)];
+        assert_eq!(model.assign(&empty).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn single_cluster_and_errors() {
+        let data = gmm(10, 6);
+        let res = AnchorUmsc::new(AnchorUmscConfig::new(1)).fit(&data).unwrap();
+        assert!(res.labels.iter().all(|&l| l == 0));
+        assert!(AnchorUmsc::new(AnchorUmscConfig::new(100)).fit(&data).is_err());
+        assert!(AnchorUmsc::new(AnchorUmscConfig::new(2)).fit_factors(&[]).is_err());
+    }
+}

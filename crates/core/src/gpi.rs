@@ -1,0 +1,141 @@
+//! Generalized Power Iteration (GPI) on the Stiefel manifold.
+//!
+//! Solves the quadratic problem
+//!
+//! ```text
+//! min_{FᵀF = I}  tr(Fᵀ A F) − 2·tr(Fᵀ B)
+//! ```
+//!
+//! for symmetric `A` (Nie, Zhang & Li, *"A Generalized Power Iteration
+//! Method for Solving Quadratic Problem on the Stiefel Manifold"*, 2017).
+//! With a shift `η ≥ λ_max(A)` the equivalent maximization of
+//! `tr(Fᵀ(ηI − A)F) + 2 tr(FᵀB)` has a monotone fixed-point iteration
+//!
+//! ```text
+//! M ← (ηI − A)·F + B,    F ← U Vᵀ  where  M = U Σ Vᵀ (thin SVD).
+//! ```
+//!
+//! This is the `F`-step of the unified solver: `A` is the weighted fused
+//! Laplacian and `B = λ·Y·Rᵀ` pulls the embedding toward the current
+//! rotated indicator.
+
+use crate::Result;
+use umsc_linalg::{polar_orthogonalize, Matrix};
+
+/// Objective value `tr(FᵀAF) − 2·tr(FᵀB)`.
+pub fn gpi_objective(a: &Matrix, b: &Matrix, f: &Matrix) -> f64 {
+    let af = a.matmul(f);
+    f.matmul_transpose_a(&af).trace() - 2.0 * f.matmul_transpose_a(b).trace()
+}
+
+/// Runs GPI from the initial Stiefel point `f0`.
+///
+/// `a` must be symmetric `n × n`; `b` and `f0` are `n × k` with `n ≥ k` and
+/// `f0ᵀf0 = I`. Stops when the relative objective improvement drops below
+/// `tol` or after `max_iter` iterations, whichever is first; the objective
+/// is non-increasing at every step by construction.
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn gpi_stiefel(a: &Matrix, b: &Matrix, f0: &Matrix, max_iter: usize, tol: f64) -> Result<Matrix> {
+    let (n, k) = f0.shape();
+    assert!(a.is_square() && a.rows() == n, "gpi_stiefel: A must be {n}x{n}");
+    assert_eq!(b.shape(), (n, k), "gpi_stiefel: B must be {n}x{k}");
+    assert!(n >= k, "gpi_stiefel: need n >= k");
+
+    // Safe shift: Gershgorin bound with a small positive margin so ηI − A
+    // stays PSD even under rounding.
+    let eta = a.gershgorin_upper_bound().max(0.0) + 1e-9;
+
+    let mut f = f0.clone();
+    let mut prev = gpi_objective(a, b, &f);
+    for _ in 0..max_iter.max(1) {
+        // M = (ηI − A)F + B = η·F − A·F + B.
+        let mut m = f.scale(eta);
+        let af = a.matmul(&f);
+        m.axpy(-1.0, &af);
+        m.axpy(1.0, b);
+        f = polar_orthogonalize(&m)?;
+        let obj = gpi_objective(a, b, &f);
+        // Monotone by theory; the guard tolerates rounding.
+        debug_assert!(obj <= prev + 1e-7 * (1.0 + prev.abs()), "GPI objective increased: {prev} -> {obj}");
+        if (prev - obj).abs() <= tol * (1.0 + prev.abs()) {
+            return Ok(f);
+        }
+        prev = obj;
+    }
+    Ok(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umsc_linalg::{qr, SymEigen};
+
+    fn sym(n: usize, f: impl Fn(usize, usize) -> f64) -> Matrix {
+        let mut m = Matrix::from_fn(n, n, |i, j| f(i.min(j), i.max(j)));
+        m.symmetrize_mut();
+        m
+    }
+
+    fn stiefel_init(n: usize, k: usize) -> Matrix {
+        qr(&Matrix::from_fn(n, k, |i, j| ((i * 3 + j * 5 + 1) as f64).sin())).q
+    }
+
+    #[test]
+    fn with_zero_b_recovers_smallest_eigenspace() {
+        // min tr(FᵀAF) over Stiefel = sum of k smallest eigenvalues.
+        let a = sym(8, |i, j| ((i + 2 * j) as f64).cos() + if i == j { 3.0 } else { 0.0 });
+        let b = Matrix::zeros(8, 3);
+        let f = gpi_stiefel(&a, &b, &stiefel_init(8, 3), 500, 1e-12).unwrap();
+        let eig = SymEigen::compute(&a).unwrap();
+        let best: f64 = eig.eigenvalues[..3].iter().sum();
+        let got = gpi_objective(&a, &b, &f);
+        assert!(got <= best + 1e-5, "GPI {got} vs eigen optimum {best}");
+    }
+
+    #[test]
+    fn objective_monotone_along_iterations() {
+        let a = sym(10, |i, j| ((i * 7 + j) as f64).sin() + if i == j { 2.0 } else { 0.0 });
+        let b = Matrix::from_fn(10, 2, |i, j| ((i + j) as f64).cos());
+        let f0 = stiefel_init(10, 2);
+        let mut prev = gpi_objective(&a, &b, &f0);
+        let mut f = f0;
+        for _ in 0..20 {
+            f = gpi_stiefel(&a, &b, &f, 1, 0.0).unwrap();
+            let obj = gpi_objective(&a, &b, &f);
+            assert!(obj <= prev + 1e-9, "{obj} > {prev}");
+            prev = obj;
+        }
+    }
+
+    #[test]
+    fn output_is_on_stiefel_manifold() {
+        let a = sym(7, |i, j| (i as f64 - j as f64).abs());
+        let b = Matrix::from_fn(7, 3, |i, j| (i * j) as f64 * 0.1);
+        let f = gpi_stiefel(&a, &b, &stiefel_init(7, 3), 50, 1e-10).unwrap();
+        let ftf = f.matmul_transpose_a(&f);
+        assert!(ftf.approx_eq(&Matrix::identity(3), 1e-9), "{ftf:?}");
+    }
+
+    #[test]
+    fn strong_b_dominates() {
+        // With huge B, the optimum aligns F with polar(B).
+        let a = sym(6, |i, j| if i == j { 1.0 } else { 0.0 });
+        let target = stiefel_init(6, 2);
+        let b = target.scale(1e6);
+        let f = gpi_stiefel(&a, &b, &stiefel_init(6, 2), 200, 1e-14).unwrap();
+        // tr(Fᵀ target) close to k (perfect alignment).
+        let align = f.matmul_transpose_a(&target).trace();
+        assert!(align > 2.0 - 1e-4, "alignment {align}");
+    }
+
+    #[test]
+    fn k_equals_n() {
+        let a = sym(4, |i, j| ((i + j) as f64).sin() + if i == j { 2.0 } else { 0.0 });
+        let b = Matrix::zeros(4, 4);
+        let f = gpi_stiefel(&a, &b, &Matrix::identity(4), 100, 1e-12).unwrap();
+        // Full square orthogonal F: tr(FᵀAF) = tr(A) for any orthogonal F.
+        assert!((gpi_objective(&a, &b, &f) - a.trace()).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,281 @@
+//! Discrete cluster indicator matrices.
+//!
+//! `Y ∈ Ind(n, c)`: one 1 per row, 0 elsewhere — the discrete object the
+//! unified framework optimizes directly. Helpers here convert between
+//! label vectors and indicators, produce the scaled variant
+//! `Y(YᵀY)^{-1/2}` whose columns are orthonormal, and perform the exact
+//! `Y`-step (row-wise argmax with empty-cluster repair).
+
+use umsc_linalg::ops::argmax;
+use umsc_linalg::Matrix;
+
+/// Converts a label vector into an `n × c` 0/1 indicator.
+///
+/// # Panics
+/// Panics if any label is `≥ c`.
+pub fn labels_to_indicator(labels: &[usize], c: usize) -> Matrix {
+    let mut y = Matrix::zeros(labels.len(), c);
+    for (i, &l) in labels.iter().enumerate() {
+        assert!(l < c, "labels_to_indicator: label {l} out of range 0..{c}");
+        y[(i, l)] = 1.0;
+    }
+    y
+}
+
+/// Reads labels off an indicator (row-wise argmax; ties → first).
+pub fn indicator_to_labels(y: &Matrix) -> Vec<usize> {
+    (0..y.rows()).map(|i| argmax(y.row(i)).unwrap_or(0)).collect()
+}
+
+/// Scaled indicator `Y (YᵀY)^{-1/2}`: columns are orthonormal, column `j`
+/// scaled by `1/√n_j`. Empty clusters get scale 0 (guarded).
+pub fn scaled_indicator(y: &Matrix) -> Matrix {
+    let (n, c) = y.shape();
+    // YᵀY is diagonal with cluster sizes for a valid indicator.
+    let mut sizes = vec![0.0f64; c];
+    for i in 0..n {
+        for (j, &v) in y.row(i).iter().enumerate() {
+            sizes[j] += v * v;
+        }
+    }
+    let mut out = y.clone();
+    for i in 0..n {
+        for (j, v) in out.row_mut(i).iter_mut().enumerate() {
+            if sizes[j] > 0.0 {
+                *v /= sizes[j].sqrt();
+            }
+        }
+    }
+    out
+}
+
+/// The exact `Y`-step: `Y_ij = 1` iff `j = argmax_j (FR)_ij`, followed by
+/// **empty-cluster repair** — every cluster must stay non-empty or the
+/// rotation `R` loses rank on the next step. For each empty cluster `j`,
+/// the point with the largest affinity to `j` (relative to what it loses by
+/// leaving its current cluster) is moved there.
+///
+/// Returns the label vector; build `Y` with [`labels_to_indicator`].
+pub fn discretize_rows(fr: &Matrix) -> Vec<usize> {
+    let (n, c) = fr.shape();
+    let mut labels: Vec<usize> = (0..n).map(|i| argmax(fr.row(i)).unwrap_or(0)).collect();
+    if n < c {
+        return labels; // cannot fill every cluster; caller validates.
+    }
+    // Repair empty clusters, cheapest moves first.
+    let mut counts = vec![0usize; c];
+    for &l in &labels {
+        counts[l] += 1;
+    }
+    for j in 0..c {
+        if counts[j] > 0 {
+            continue;
+        }
+        // Candidate: point from a cluster with ≥2 members that loses least.
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..n {
+            if counts[labels[i]] < 2 {
+                continue;
+            }
+            let gain = fr[(i, j)] - fr[(i, labels[i])];
+            if best.is_none_or(|(_, g)| gain > g) {
+                best = Some((i, gain));
+            }
+        }
+        if let Some((i, _)) = best {
+            counts[labels[i]] -= 1;
+            labels[i] = j;
+            counts[j] += 1;
+        }
+    }
+    labels
+}
+
+/// The exact `Y`-step of the **scaled-rotation** objective
+/// `min_Y ‖G − Y(YᵀY)^{-1/2}‖²` (with `G = FR` fixed), which reduces to
+/// `max_Y Σ_j s_j/√n_j` where `s_j = Σ_{i∈C_j} G_ij` and `n_j = |C_j|`.
+///
+/// Row-wise argmax ignores the `1/√n_j` size coupling and systematically
+/// starves small clusters on unbalanced data; this solves the coupled
+/// problem by greedy coordinate descent over points (closed-form move
+/// deltas), started from `init` and iterated to a fixed point. Fully
+/// deterministic — this is *not* K-means (no centroids, no random
+/// restarts; it is the exact block minimizer of the model's own objective).
+///
+/// Clusters are kept non-empty throughout.
+pub fn discretize_scaled(g: &Matrix, init: &[usize], max_passes: usize) -> Vec<usize> {
+    let (n, c) = g.shape();
+    assert_eq!(init.len(), n, "discretize_scaled: init length mismatch");
+    let mut labels = init.to_vec();
+    let mut sizes = vec![0usize; c];
+    let mut sums = vec![0.0f64; c];
+    for (i, &l) in labels.iter().enumerate() {
+        assert!(l < c, "discretize_scaled: label {l} out of range");
+        sizes[l] += 1;
+        sums[l] += g[(i, l)];
+    }
+    let score = |s: f64, m: usize| if m == 0 { 0.0 } else { s / (m as f64).sqrt() };
+
+    for _pass in 0..max_passes {
+        let mut moved = false;
+        for i in 0..n {
+            let cur = labels[i];
+            if sizes[cur] <= 1 {
+                continue; // moving would empty the cluster
+            }
+            let base_cur = score(sums[cur], sizes[cur]);
+            let removed_cur = score(sums[cur] - g[(i, cur)], sizes[cur] - 1);
+            let mut best_j = cur;
+            let mut best_delta = 0.0f64;
+            for j in 0..c {
+                if j == cur {
+                    continue;
+                }
+                let delta = (removed_cur - base_cur)
+                    + (score(sums[j] + g[(i, j)], sizes[j] + 1) - score(sums[j], sizes[j]));
+                if delta > best_delta + 1e-12 {
+                    best_delta = delta;
+                    best_j = j;
+                }
+            }
+            if best_j != cur {
+                sums[cur] -= g[(i, cur)];
+                sizes[cur] -= 1;
+                sums[best_j] += g[(i, best_j)];
+                sizes[best_j] += 1;
+                labels[i] = best_j;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_labels_indicator() {
+        let labels = vec![2, 0, 1, 2, 2];
+        let y = labels_to_indicator(&labels, 3);
+        assert_eq!(y.shape(), (5, 3));
+        // Exactly one 1 per row.
+        for i in 0..5 {
+            let s: f64 = y.row(i).iter().sum();
+            assert_eq!(s, 1.0);
+        }
+        assert_eq!(indicator_to_labels(&y), labels);
+    }
+
+    #[test]
+    fn scaled_indicator_is_orthonormal() {
+        let y = labels_to_indicator(&[0, 0, 1, 1, 1, 2], 3);
+        let s = scaled_indicator(&y);
+        let sts = s.matmul_transpose_a(&s);
+        assert!(sts.approx_eq(&Matrix::identity(3), 1e-12), "{sts:?}");
+        // Column scales are 1/√n_j.
+        assert!((s[(0, 0)] - 1.0 / 2f64.sqrt()).abs() < 1e-12);
+        assert!((s[(2, 1)] - 1.0 / 3f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_indicator_empty_cluster_guarded() {
+        let y = labels_to_indicator(&[0, 0], 3); // clusters 1,2 empty
+        let s = scaled_indicator(&y);
+        assert!(s.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn discretize_picks_argmax() {
+        let fr = Matrix::from_vec(3, 2, vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4]);
+        assert_eq!(discretize_rows(&fr), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn discretize_repairs_empty_cluster() {
+        // Everything prefers column 0; repair must move one point to 1.
+        let fr = Matrix::from_vec(4, 2, vec![
+            0.9, 0.5, //
+            0.9, 0.1, //
+            0.9, 0.2, //
+            0.9, 0.8,
+        ]);
+        let labels = discretize_rows(&fr);
+        let ones = labels.iter().filter(|&&l| l == 1).count();
+        assert_eq!(ones, 1, "exactly one point moved: {labels:?}");
+        // The moved point is the one losing least (row 3: 0.9−0.8 = 0.1 loss).
+        assert_eq!(labels[3], 1);
+    }
+
+    #[test]
+    fn discretize_multiple_empty_clusters() {
+        let fr = Matrix::from_vec(5, 3, vec![
+            1.0, 0.0, 0.0, //
+            1.0, 0.9, 0.0, //
+            1.0, 0.0, 0.8, //
+            1.0, 0.2, 0.1, //
+            1.0, 0.1, 0.3,
+        ]);
+        let labels = discretize_rows(&fr);
+        for j in 0..3 {
+            assert!(labels.iter().any(|&l| l == j), "cluster {j} empty: {labels:?}");
+        }
+    }
+
+    #[test]
+    fn discretize_fewer_points_than_clusters() {
+        let fr = Matrix::from_vec(2, 3, vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0]);
+        let labels = discretize_rows(&fr);
+        assert_eq!(labels, vec![0, 1]); // no panic; best effort
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn labels_out_of_range_panic() {
+        let _ = labels_to_indicator(&[3], 3);
+    }
+
+    #[test]
+    fn scaled_discretization_improves_objective() {
+        // Objective: Σ_j s_j/√n_j with s_j the column sums over members.
+        let g = Matrix::from_fn(12, 3, |i, j| ((i * 3 + j * 7) as f64).sin());
+        let init = discretize_rows(&g);
+        let refined = discretize_scaled(&g, &init, 20);
+        let obj = |labels: &[usize]| {
+            let mut sums = vec![0.0; 3];
+            let mut sizes = vec![0usize; 3];
+            for (i, &l) in labels.iter().enumerate() {
+                sums[l] += g[(i, l)];
+                sizes[l] += 1;
+            }
+            (0..3).map(|j| if sizes[j] > 0 { sums[j] / (sizes[j] as f64).sqrt() } else { 0.0 }).sum::<f64>()
+        };
+        assert!(obj(&refined) >= obj(&init) - 1e-12, "{} < {}", obj(&refined), obj(&init));
+    }
+
+    #[test]
+    fn scaled_discretization_keeps_clusters_nonempty() {
+        let g = Matrix::from_fn(8, 3, |_, j| if j == 0 { 1.0 } else { 0.0 });
+        let init = vec![0, 0, 0, 1, 1, 1, 2, 2];
+        let refined = discretize_scaled(&g, &init, 50);
+        for j in 0..3 {
+            assert!(refined.iter().any(|&l| l == j), "cluster {j} emptied: {refined:?}");
+        }
+    }
+
+    #[test]
+    fn scaled_discretization_deterministic_and_fixed_point() {
+        let g = Matrix::from_fn(15, 3, |i, j| ((i + 2 * j) as f64).cos());
+        let init = discretize_rows(&g);
+        let a = discretize_scaled(&g, &init, 30);
+        let b = discretize_scaled(&g, &init, 30);
+        assert_eq!(a, b);
+        // Running again from the output changes nothing (fixed point).
+        let c = discretize_scaled(&g, &a, 30);
+        assert_eq!(a, c);
+    }
+}

@@ -1,0 +1,676 @@
+//! The unified one-stage solver (block coordinate descent).
+//!
+//! See the crate docs for the objective. One outer iteration performs:
+//!
+//! 1. **w-step** — closed-form view re-weighting (scheme-dependent);
+//! 2. **F-step** — GPI on `min tr(Fᵀ L̄ F) − 2λ tr(Fᵀ Y_eff Rᵀ)` over the
+//!    Stiefel manifold, where `L̄ = Σ_v w_v L⁽ᵛ⁾`;
+//! 3. **R-step** — orthogonal Procrustes `R = UVᵀ` of `Fᵀ Y_eff`;
+//! 4. **Y-step** — exact row-wise argmax of `F·R` with empty-cluster repair.
+//!
+//! With [`Weighting::Auto`] the reported objective is the parameter-free
+//! functional `Σ_v √tr(Fᵀ L⁽ᵛ⁾ F) + λ‖FR − Y_eff‖²` (the auto-weights are
+//! its MM surrogate); with `Uniform`/`Fixed` it is the plainly weighted sum.
+//! In the paper's configuration ([`Discretization::Rotation`]) the
+//! objective is monotonically non-increasing — asserted in tests and
+//! plotted by bench figure F1.
+
+use crate::config::{Discretization, UmscConfig, Weighting};
+use crate::error::UmscError;
+use crate::gpi::gpi_stiefel;
+use crate::indicator::{discretize_rows, labels_to_indicator, scaled_indicator};
+use crate::pipeline::{build_view_laplacians, spectral_embedding};
+use crate::Result;
+use umsc_data::MultiViewDataset;
+use umsc_kmeans::{kmeans, KMeansConfig};
+use umsc_linalg::{procrustes, Matrix};
+
+/// Snapshot of one outer iteration (for convergence plots).
+#[derive(Debug, Clone)]
+pub struct IterationStats {
+    /// Total objective (embedding term + rotation term).
+    pub objective: f64,
+    /// Graph-fusion term: `Σ_v √tr_v` (Auto) or `Σ_v w_v·tr_v` (other
+    /// weighting schemes).
+    pub embedding_term: f64,
+    /// Discretization alignment term `λ‖FR − Y_eff‖²`.
+    pub rotation_term: f64,
+    /// View weights used this iteration, normalized to sum 1 for
+    /// comparability across iterations.
+    pub weights: Vec<f64>,
+}
+
+/// Fitted model output.
+#[derive(Debug, Clone)]
+pub struct UmscResult {
+    /// Cluster label per point — read directly off the learned `Y`.
+    pub labels: Vec<usize>,
+    /// Continuous spectral embedding `F` (`n × c`, orthonormal columns).
+    pub embedding: Matrix,
+    /// Learned spectral rotation `R` (`c × c`, orthogonal).
+    pub rotation: Matrix,
+    /// Learned discrete indicator `Y` (`n × c`, 0/1).
+    pub indicator: Matrix,
+    /// Final view weights (normalized to sum 1).
+    pub view_weights: Vec<f64>,
+    /// Per-iteration objective trace.
+    pub history: Vec<IterationStats>,
+    /// Whether the outer loop hit the tolerance before `max_iter`.
+    pub converged: bool,
+}
+
+/// The unified multi-view spectral clustering model.
+#[derive(Debug, Clone)]
+pub struct Umsc {
+    config: UmscConfig,
+}
+
+impl Umsc {
+    /// Creates a model with the given configuration.
+    pub fn new(config: UmscConfig) -> Self {
+        Umsc { config }
+    }
+
+    /// Read access to the configuration.
+    pub fn config(&self) -> &UmscConfig {
+        &self.config
+    }
+
+    /// Fits the model on a multi-view dataset (builds per-view graphs from
+    /// the configured metric/graph kind, then calls
+    /// [`Umsc::fit_laplacians`]).
+    pub fn fit(&self, data: &MultiViewDataset) -> Result<UmscResult> {
+        let laplacians = build_view_laplacians(data, &self.config.graph_config())?;
+        self.fit_laplacians(&laplacians)
+    }
+
+    /// Fits the model on precomputed per-view **affinity** matrices
+    /// (symmetric, non-negative, zero diagonal) — for users who build
+    /// their own graphs. Each affinity is turned into its
+    /// symmetric-normalized Laplacian and passed to
+    /// [`Umsc::fit_laplacians`].
+    pub fn fit_affinities(&self, affinities: &[Matrix]) -> Result<UmscResult> {
+        for (v, w) in affinities.iter().enumerate() {
+            if !w.is_square() {
+                return Err(UmscError::InvalidInput(format!("affinity {v} is not square")));
+            }
+            if !w.is_symmetric(1e-8 * w.max_abs().max(1.0)) {
+                return Err(UmscError::InvalidInput(format!("affinity {v} is not symmetric")));
+            }
+            if w.as_slice().iter().any(|&x| x < 0.0 || !x.is_finite()) {
+                return Err(UmscError::InvalidInput(format!("affinity {v} has negative or non-finite entries")));
+            }
+        }
+        let laplacians: Vec<Matrix> =
+            affinities.iter().map(umsc_graph::normalized_laplacian).collect();
+        self.fit_laplacians(&laplacians)
+    }
+
+    /// Fits the model on precomputed per-view (normalized) Laplacians —
+    /// the entry point when graphs come from elsewhere.
+    pub fn fit_laplacians(&self, laplacians: &[Matrix]) -> Result<UmscResult> {
+        let cfg = &self.config;
+        if laplacians.is_empty() {
+            return Err(UmscError::InvalidInput("no Laplacians given".into()));
+        }
+        let n = laplacians[0].rows();
+        for (v, l) in laplacians.iter().enumerate() {
+            if !l.is_square() || l.rows() != n {
+                return Err(UmscError::InvalidInput(format!(
+                    "Laplacian {v} has shape {}x{}, expected {n}x{n}",
+                    l.rows(),
+                    l.cols()
+                )));
+            }
+        }
+        let c = cfg.num_clusters;
+        if c == 0 {
+            return Err(UmscError::InvalidInput("num_clusters is zero".into()));
+        }
+        if c > n {
+            return Err(UmscError::InvalidInput(format!("num_clusters {c} exceeds n = {n}")));
+        }
+        if let Weighting::Fixed(w) = &cfg.weighting {
+            if w.len() != laplacians.len() {
+                return Err(UmscError::InvalidInput(format!(
+                    "{} fixed weights for {} views",
+                    w.len(),
+                    laplacians.len()
+                )));
+            }
+            if w.iter().any(|&x| !(x >= 0.0) || !x.is_finite()) {
+                return Err(UmscError::InvalidInput("fixed weights must be finite and non-negative".into()));
+            }
+            if w.iter().sum::<f64>() <= 0.0 {
+                return Err(UmscError::InvalidInput("fixed weights must not all be zero".into()));
+            }
+        }
+
+        // Degenerate single-cluster case.
+        if c == 1 {
+            return Ok(UmscResult {
+                labels: vec![0; n],
+                embedding: spectral_embedding(&mean_laplacian(laplacians), 1, cfg.seed)?,
+                rotation: Matrix::identity(1),
+                indicator: Matrix::filled(n, 1, 1.0),
+                view_weights: normalized(&vec![1.0; laplacians.len()]),
+                history: Vec::new(),
+                converged: true,
+            });
+        }
+
+        match cfg.discretization {
+            Discretization::KMeans { restarts } => self.fit_two_stage(laplacians, restarts),
+            Discretization::Rotation | Discretization::ScaledRotation => self.fit_one_stage(laplacians),
+        }
+    }
+
+    /// One-stage BCD (the paper's method).
+    fn fit_one_stage(&self, laplacians: &[Matrix]) -> Result<UmscResult> {
+        let cfg = &self.config;
+        let c = cfg.num_clusters;
+        let n = laplacians[0].rows();
+        let scaled = cfg.discretization == Discretization::ScaledRotation;
+        // The alignment term ‖FR − Y‖² grows with n while the Rayleigh term
+        // tr(FᵀLF) is O(c), so λ is normalized by c/(10n): dimensionless
+        // across dataset sizes, with λ = 1 sitting inside the stable
+        // plateau of the sensitivity curve (figure F2) rather than at its
+        // edge — the alignment term refines the warm-started embedding
+        // instead of overruling the graphs.
+        let lambda_eff = cfg.lambda * c as f64 / (10.0 * n as f64);
+
+        // Init: warm-start F at the solution of the relaxed problem (λ→0),
+        // i.e. the converged (re-weighted) spectral embedding. Starting the
+        // joint loop from the unweighted mean Laplacian instead lets noisy
+        // views pollute the first indicator, and the alignment feedback
+        // then locks the bad start in. The rotation is initialized by the
+        // Yu–Shi scheme (raw argmax on F degenerates because the first
+        // Laplacian eigenvector is near-constant).
+        let mut f = self.warm_start_embedding(laplacians)?;
+        let mut r = init_rotation(&f)?;
+        let mut labels = discretize_rows(&f.matmul(&r));
+        let mut y = labels_to_indicator(&labels, c);
+
+        let mut history: Vec<IterationStats> = Vec::with_capacity(cfg.max_iter);
+        let mut converged = false;
+        let mut weights = vec![1.0 / laplacians.len() as f64; laplacians.len()];
+
+        for _iter in 0..cfg.max_iter {
+            // --- w-step ---
+            let traces = view_traces(laplacians, &f);
+            weights = self.weights_from_traces(&traces);
+
+            // --- F-step ---
+            let a = weighted_laplacian(laplacians, &weights);
+            let y_eff = if scaled { scaled_indicator(&y) } else { y.clone() };
+            let b = b_matrix(&y_eff, &r, lambda_eff);
+            f = gpi_stiefel(&a, &b, &f, cfg.gpi_max_iter, 1e-10)?;
+
+            // --- R-step ---
+            // Procrustes on the row-normalized embedding F̃ (Yu–Shi): each
+            // point votes equally in the alignment, so low-norm boundary
+            // rows cannot skew the rotation.
+            let y_eff = if scaled { scaled_indicator(&y) } else { y.clone() };
+            let f_tilde = row_normalized(&f);
+            r = procrustes(&f_tilde.matmul_transpose_a(&y_eff))?;
+
+            // --- Y-step --- For the plain indicator, row-wise argmax is
+            // the exact minimizer. For the scaled indicator the column
+            // scales couple the rows, so the exact block minimizer is the
+            // size-aware coordinate descent (crucial on unbalanced data).
+            let fr = f.matmul(&r);
+            labels = discretize_rows(&fr);
+            if scaled {
+                labels = crate::indicator::discretize_scaled(&fr, &labels, 30);
+            }
+            y = labels_to_indicator(&labels, c);
+
+            // --- bookkeeping ---
+            let traces = view_traces(laplacians, &f);
+            let emb = self.embedding_objective(&traces);
+            let y_eff = if scaled { scaled_indicator(&y) } else { y.clone() };
+            let diff = &f.matmul(&r) - &y_eff;
+            let rot = lambda_eff * diff.frobenius_norm().powi(2);
+            let objective = emb + rot;
+            let prev = history.last().map(|s: &IterationStats| s.objective);
+            history.push(IterationStats {
+                objective,
+                embedding_term: emb,
+                rotation_term: rot,
+                weights: normalized(&weights),
+            });
+            if let Some(p) = prev {
+                if (p - objective).abs() <= cfg.tol * (1.0 + p.abs()) {
+                    converged = true;
+                    break;
+                }
+            }
+        }
+
+        Ok(UmscResult {
+            labels,
+            embedding: f,
+            rotation: r,
+            indicator: y,
+            view_weights: normalized(&weights),
+            history,
+            converged,
+        })
+    }
+
+    /// Two-stage ablation: auto-weighted embedding, then K-means.
+    fn fit_two_stage(&self, laplacians: &[Matrix], restarts: usize) -> Result<UmscResult> {
+        let cfg = &self.config;
+        let c = cfg.num_clusters;
+        let mut f = spectral_embedding(&mean_laplacian(laplacians), c, cfg.seed)?;
+        let mut history: Vec<IterationStats> = Vec::with_capacity(cfg.max_iter);
+        let mut converged = false;
+        let mut weights = vec![1.0 / laplacians.len() as f64; laplacians.len()];
+
+        for _iter in 0..cfg.max_iter {
+            let traces = view_traces(laplacians, &f);
+            weights = self.weights_from_traces(&traces);
+            let a = weighted_laplacian(laplacians, &weights);
+            f = spectral_embedding(&a, c, cfg.seed)?;
+
+            let traces = view_traces(laplacians, &f);
+            let emb = self.embedding_objective(&traces);
+            let prev = history.last().map(|s: &IterationStats| s.objective);
+            history.push(IterationStats {
+                objective: emb,
+                embedding_term: emb,
+                rotation_term: 0.0,
+                weights: normalized(&weights),
+            });
+            if let Some(p) = prev {
+                if (p - emb).abs() <= cfg.tol * (1.0 + p.abs()) {
+                    converged = true;
+                    break;
+                }
+            }
+            if matches!(cfg.weighting, Weighting::Uniform | Weighting::Fixed(_)) {
+                // Weights never change: one embedding solve is exact.
+                converged = true;
+                break;
+            }
+        }
+
+        // Stage two: K-means on the (row-normalized) embedding.
+        let mut rows = f.clone();
+        for i in 0..rows.rows() {
+            umsc_linalg::ops::normalize(rows.row_mut(i));
+        }
+        let km = kmeans(&rows, &KMeansConfig::new(c).with_seed(cfg.seed).with_restarts(restarts.max(1)));
+        let labels = km.labels;
+        let y = labels_to_indicator(&labels, c);
+
+        Ok(UmscResult {
+            labels,
+            embedding: f,
+            rotation: Matrix::identity(c),
+            indicator: y,
+            view_weights: normalized(&weights),
+            history,
+            converged,
+        })
+    }
+
+    /// Solves the relaxed (λ→0) problem: the re-weighted spectral
+    /// embedding iterated to stationarity (a handful of eigen-solves; with
+    /// non-adaptive weights a single solve is exact).
+    fn warm_start_embedding(&self, laplacians: &[Matrix]) -> Result<Matrix> {
+        let cfg = &self.config;
+        let c = cfg.num_clusters;
+        let mut f = spectral_embedding(&mean_laplacian(laplacians), c, cfg.seed)?;
+        let rounds = match cfg.weighting {
+            Weighting::Auto => cfg.max_iter.max(1),
+            Weighting::Uniform | Weighting::Fixed(_) => 1,
+        };
+        let mut prev_obj = f64::INFINITY;
+        for _ in 0..rounds {
+            let traces = view_traces(laplacians, &f);
+            let weights = self.weights_from_traces(&traces);
+            let a = weighted_laplacian(laplacians, &weights);
+            f = spectral_embedding(&a, c, cfg.seed)?;
+            let obj = self.embedding_objective(&view_traces(laplacians, &f));
+            if (prev_obj - obj).abs() <= cfg.tol * (1.0 + prev_obj.abs()) {
+                break;
+            }
+            prev_obj = obj;
+        }
+        Ok(f)
+    }
+
+    /// Closed-form weights from the per-view embedding traces.
+    fn weights_from_traces(&self, traces: &[f64]) -> Vec<f64> {
+        match &self.config.weighting {
+            Weighting::Auto => traces.iter().map(|&t| 1.0 / (2.0 * t.max(1e-10).sqrt())).collect(),
+            Weighting::Uniform => vec![1.0 / traces.len() as f64; traces.len()],
+            Weighting::Fixed(w) => {
+                let s: f64 = w.iter().sum();
+                w.iter().map(|&x| x / s).collect()
+            }
+        }
+    }
+
+    /// The embedding term of the reported objective (scheme-dependent; see
+    /// module docs).
+    fn embedding_objective(&self, traces: &[f64]) -> f64 {
+        match &self.config.weighting {
+            Weighting::Auto => traces.iter().map(|&t| t.max(0.0).sqrt()).sum(),
+            Weighting::Uniform => traces.iter().sum::<f64>() / traces.len() as f64,
+            Weighting::Fixed(w) => {
+                let s: f64 = w.iter().sum();
+                w.iter().zip(traces.iter()).map(|(&wi, &t)| wi / s * t).sum()
+            }
+        }
+    }
+}
+
+/// `tr(Fᵀ L⁽ᵛ⁾ F)` for every view.
+fn view_traces(laplacians: &[Matrix], f: &Matrix) -> Vec<f64> {
+    laplacians
+        .iter()
+        .map(|l| {
+            let lf = l.matmul(f);
+            f.matmul_transpose_a(&lf).trace()
+        })
+        .collect()
+}
+
+/// `Σ_v w_v · L⁽ᵛ⁾`, exactly symmetrized.
+fn weighted_laplacian(laplacians: &[Matrix], weights: &[f64]) -> Matrix {
+    let n = laplacians[0].rows();
+    let mut a = Matrix::zeros(n, n);
+    for (l, &w) in laplacians.iter().zip(weights.iter()) {
+        a.axpy(w, l);
+    }
+    a.symmetrize_mut();
+    a
+}
+
+/// Unweighted mean Laplacian (initialization).
+fn mean_laplacian(laplacians: &[Matrix]) -> Matrix {
+    let mut a = weighted_laplacian(laplacians, &vec![1.0; laplacians.len()]);
+    a.scale_mut(1.0 / laplacians.len() as f64);
+    a
+}
+
+fn normalized(w: &[f64]) -> Vec<f64> {
+    let s: f64 = w.iter().sum();
+    if s > 0.0 {
+        w.iter().map(|&x| x / s).collect()
+    } else {
+        vec![1.0 / w.len().max(1) as f64; w.len()]
+    }
+}
+
+/// Yu–Shi initialization of the spectral rotation (Yu & Shi, *Multiclass
+/// Spectral Clustering*, ICCV 2003): normalize the embedding rows onto the
+/// unit sphere, greedily pick `c` rows that are maximally mutually
+/// orthogonal (they sit near the `c` latent indicator directions), stack
+/// them as columns, and project to the nearest orthogonal matrix.
+///
+/// Public because every rotation-based discretizer (here and in the AWP
+/// baseline) needs it: raw argmax on a spectral embedding degenerates, as
+/// the first Laplacian eigenvector is near-constant.
+pub fn init_rotation(f: &Matrix) -> Result<Matrix> {
+    let (n, c) = f.shape();
+    debug_assert!(n >= c);
+    // Unit-normalized rows (zero rows stay zero and are never picked first
+    // unless everything is zero, in which case identity is returned).
+    let mut rows = f.clone();
+    let norms: Vec<f64> = (0..n).map(|i| umsc_linalg::ops::normalize(rows.row_mut(i))).collect();
+    let first = norms
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+
+    let mut r = Matrix::zeros(c, c);
+    r.set_col(0, rows.row(first));
+    let mut score = vec![0.0f64; n];
+    for k in 1..c {
+        let prev = r.col(k - 1);
+        for i in 0..n {
+            score[i] += umsc_linalg::ops::dot(rows.row(i), &prev).abs();
+        }
+        let pick = umsc_linalg::ops::argmin(&score).unwrap_or(0);
+        r.set_col(k, rows.row(pick));
+    }
+    if r.frobenius_norm() == 0.0 {
+        return Ok(Matrix::identity(c));
+    }
+    Ok(procrustes(&r)?)
+}
+
+/// Row-normalized copy (rows on the unit sphere; zero rows left as-is).
+fn row_normalized(f: &Matrix) -> Matrix {
+    let mut out = f.clone();
+    for i in 0..out.rows() {
+        umsc_linalg::ops::normalize(out.row_mut(i));
+    }
+    out
+}
+
+/// `B = λ · Y_eff · Rᵀ`, the attraction term of the F-step.
+fn b_matrix(y_eff: &Matrix, r: &Matrix, lambda: f64) -> Matrix {
+    let mut b = y_eff.matmul_transpose_b(r);
+    b.scale_mut(lambda);
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GraphKind;
+    use umsc_data::shapes::{rings_multiview, two_moons_multiview};
+    use umsc_data::synth::{MultiViewGmm, ViewSpec};
+    use umsc_metrics::clustering_accuracy;
+
+    fn easy_gmm(seed: u64) -> MultiViewDataset {
+        MultiViewGmm::new(
+            "easy",
+            3,
+            25,
+            vec![ViewSpec::clean(5), ViewSpec::clean(8), ViewSpec { signal: 0.9, ..ViewSpec::clean(6) }],
+        )
+        .generate(seed)
+    }
+
+    #[test]
+    fn recovers_planted_clusters() {
+        let data = easy_gmm(1);
+        let res = Umsc::new(UmscConfig::new(3)).fit(&data).unwrap();
+        let acc = clustering_accuracy(&res.labels, &data.labels);
+        assert!(acc > 0.95, "ACC {acc}");
+    }
+
+    #[test]
+    fn output_shapes_and_orthogonality() {
+        let data = easy_gmm(2);
+        let res = Umsc::new(UmscConfig::new(3)).fit(&data).unwrap();
+        assert_eq!(res.labels.len(), 75);
+        assert_eq!(res.embedding.shape(), (75, 3));
+        assert_eq!(res.rotation.shape(), (3, 3));
+        assert_eq!(res.indicator.shape(), (75, 3));
+        // F and R orthonormal.
+        assert!(res.embedding.matmul_transpose_a(&res.embedding).approx_eq(&Matrix::identity(3), 1e-8));
+        assert!(res.rotation.matmul_transpose_a(&res.rotation).approx_eq(&Matrix::identity(3), 1e-8));
+        // Y is a valid indicator matching labels.
+        for (i, &l) in res.labels.iter().enumerate() {
+            let row = res.indicator.row(i);
+            assert_eq!(row[l], 1.0);
+            assert_eq!(row.iter().sum::<f64>(), 1.0);
+        }
+        // Weights normalized.
+        let ws: f64 = res.view_weights.iter().sum();
+        assert!((ws - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn objective_monotone_nonincreasing() {
+        let data = easy_gmm(3);
+        let res = Umsc::new(UmscConfig::new(3).with_max_iter(30)).fit(&data).unwrap();
+        assert!(res.history.len() >= 2);
+        for w in res.history.windows(2) {
+            assert!(
+                w[1].objective <= w[0].objective + 1e-6 * (1.0 + w[0].objective.abs()),
+                "objective increased: {} -> {}",
+                w[0].objective,
+                w[1].objective
+            );
+        }
+    }
+
+    #[test]
+    fn converges_quickly_on_easy_data() {
+        let data = easy_gmm(4);
+        let res = Umsc::new(UmscConfig::new(3).with_max_iter(50)).fit(&data).unwrap();
+        assert!(res.converged, "did not converge in 50 iterations");
+        assert!(res.history.len() <= 25, "took {} iterations", res.history.len());
+    }
+
+    #[test]
+    fn nonlinear_shapes_need_the_graph() {
+        // Two moons: K-means on raw coordinates fails; the unified spectral
+        // method must succeed through the kernel graph.
+        let data = two_moons_multiview(140, 0.06, 5);
+        let res = Umsc::new(UmscConfig::new(2)).fit(&data).unwrap();
+        let acc = clustering_accuracy(&res.labels, &data.labels);
+        assert!(acc > 0.9, "ACC {acc}");
+    }
+
+    #[test]
+    fn rings_with_adaptive_graph() {
+        let data = rings_multiview(3, 50, 0.03, 6);
+        let cfg = UmscConfig::new(3).with_graph(GraphKind::Adaptive { k: 8 });
+        let res = Umsc::new(cfg).fit(&data).unwrap();
+        let acc = clustering_accuracy(&res.labels, &data.labels);
+        assert!(acc > 0.9, "ACC {acc}");
+    }
+
+    #[test]
+    fn noisy_view_gets_downweighted() {
+        let mut data = easy_gmm(7);
+        data.corrupt_view(2, 1.0, 99);
+        let res = Umsc::new(UmscConfig::new(3)).fit(&data).unwrap();
+        let w = &res.view_weights;
+        assert!(w[2] < w[0], "noise view weight {} not below clean {}", w[2], w[0]);
+        assert!(w[2] < w[1]);
+        // And clustering still works off the clean views.
+        let acc = clustering_accuracy(&res.labels, &data.labels);
+        assert!(acc > 0.9, "ACC {acc}");
+    }
+
+    #[test]
+    fn uniform_and_fixed_weighting() {
+        let data = easy_gmm(8);
+        let res_u = Umsc::new(UmscConfig::new(3).with_weighting(Weighting::Uniform)).fit(&data).unwrap();
+        assert!(res_u.view_weights.iter().all(|&w| (w - 1.0 / 3.0).abs() < 1e-12));
+        let res_f = Umsc::new(UmscConfig::new(3).with_weighting(Weighting::Fixed(vec![2.0, 1.0, 1.0])))
+            .fit(&data)
+            .unwrap();
+        assert!((res_f.view_weights[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fixed_weights_validated() {
+        let data = easy_gmm(9);
+        let bad = Umsc::new(UmscConfig::new(3).with_weighting(Weighting::Fixed(vec![1.0])));
+        assert!(matches!(bad.fit(&data), Err(UmscError::InvalidInput(_))));
+        let neg = Umsc::new(UmscConfig::new(3).with_weighting(Weighting::Fixed(vec![1.0, -1.0, 0.5])));
+        assert!(neg.fit(&data).is_err());
+    }
+
+    #[test]
+    fn two_stage_ablation_runs_and_is_reasonable() {
+        let data = easy_gmm(10);
+        let cfg = UmscConfig::new(3).with_discretization(Discretization::KMeans { restarts: 5 });
+        let res = Umsc::new(cfg).fit(&data).unwrap();
+        let acc = clustering_accuracy(&res.labels, &data.labels);
+        assert!(acc > 0.9, "two-stage ACC {acc}");
+        assert!(res.history.iter().all(|s| s.rotation_term == 0.0));
+    }
+
+    #[test]
+    fn scaled_rotation_variant_runs() {
+        let data = easy_gmm(11);
+        let cfg = UmscConfig::new(3).with_discretization(Discretization::ScaledRotation);
+        let res = Umsc::new(cfg).fit(&data).unwrap();
+        let acc = clustering_accuracy(&res.labels, &data.labels);
+        assert!(acc > 0.9, "scaled rotation ACC {acc}");
+    }
+
+    #[test]
+    fn single_cluster_trivial() {
+        let data = easy_gmm(12);
+        let res = Umsc::new(UmscConfig::new(1)).fit(&data).unwrap();
+        assert!(res.labels.iter().all(|&l| l == 0));
+        assert!(res.converged);
+    }
+
+    #[test]
+    fn more_clusters_than_points_rejected() {
+        let data = MultiViewGmm::new("tiny", 2, 2, vec![ViewSpec::clean(2)]).generate(0);
+        let res = Umsc::new(UmscConfig::new(5)).fit(&data);
+        assert!(matches!(res, Err(UmscError::InvalidInput(_))));
+    }
+
+    #[test]
+    fn fit_affinities_matches_fit() {
+        let data = easy_gmm(15);
+        let model = Umsc::new(UmscConfig::new(3));
+        let direct = model.fit(&data).unwrap();
+        // Build the same affinities by hand and go through the other door.
+        let affinities: Vec<Matrix> = data
+            .views
+            .iter()
+            .map(|x| crate::pipeline::view_affinity(x, &model.config().graph_config()))
+            .collect();
+        let via_aff = model.fit_affinities(&affinities).unwrap();
+        assert_eq!(direct.labels, via_aff.labels);
+    }
+
+    #[test]
+    fn fit_affinities_validates() {
+        let model = Umsc::new(UmscConfig::new(2));
+        // Asymmetric.
+        let bad = Matrix::from_vec(2, 2, vec![0.0, 1.0, 0.0, 0.0]);
+        assert!(model.fit_affinities(&[bad]).is_err());
+        // Negative entry.
+        let neg = Matrix::from_vec(2, 2, vec![0.0, -1.0, -1.0, 0.0]);
+        assert!(model.fit_affinities(&[neg]).is_err());
+    }
+
+    #[test]
+    fn mismatched_laplacians_rejected() {
+        let model = Umsc::new(UmscConfig::new(2));
+        let ls = vec![Matrix::identity(4), Matrix::identity(5)];
+        assert!(model.fit_laplacians(&ls).is_err());
+        assert!(model.fit_laplacians(&[]).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = easy_gmm(13);
+        let a = Umsc::new(UmscConfig::new(3).with_seed(5)).fit(&data).unwrap();
+        let b = Umsc::new(UmscConfig::new(3).with_seed(5)).fit(&data).unwrap();
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.history.len(), b.history.len());
+    }
+
+    #[test]
+    fn lambda_extremes_still_valid() {
+        let data = easy_gmm(14);
+        for lambda in [1e-4, 1e4] {
+            let res = Umsc::new(UmscConfig::new(3).with_lambda(lambda)).fit(&data).unwrap();
+            assert_eq!(res.labels.len(), data.n());
+            // All clusters used (repair guarantees non-empty).
+            for j in 0..3 {
+                assert!(res.labels.iter().any(|&l| l == j), "λ={lambda}: cluster {j} empty");
+            }
+        }
+    }
+}

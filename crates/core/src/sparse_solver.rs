@@ -1,0 +1,332 @@
+//! Sparse-Laplacian path for the unified solver.
+//!
+//! The dense path densifies k-NN graphs into `n × n` matrices — O(n²)
+//! memory regardless of sparsity. This module gives [`Umsc`] a second
+//! entry point, [`Umsc::fit_laplacians_sparse`], that keeps every view's
+//! normalized Laplacian in CSR form and runs the same block coordinate
+//! descent matrix-free:
+//!
+//! * traces `tr(Fᵀ L_v F)` via one sparse×dense product per view —
+//!   O(nnz·c);
+//! * warm-start embedding via Lanczos on the weighted-sum operator —
+//!   O(nnz) per application;
+//! * GPI F-step with `M = ηF − Σ_v w_v (L_v F) + λYRᵀ` and the spectral
+//!   bound `η = 2Σ_v w_v` (normalized Laplacians satisfy `L ⪯ 2I`);
+//! * R/Y steps identical to the dense path (they only touch `n × c`).
+//!
+//! Semantics match the dense path exactly: feeding the same Laplacians
+//! through both produces the same labels (asserted by tests).
+
+use crate::config::Weighting;
+use crate::error::UmscError;
+use crate::indicator::{discretize_rows, labels_to_indicator, scaled_indicator};
+use crate::solver::{init_rotation, IterationStats, Umsc, UmscResult};
+use crate::Result;
+use umsc_graph::CsrMatrix;
+use umsc_linalg::{lanczos_smallest, polar_orthogonalize, procrustes, LanczosConfig, LinearOperator, Matrix};
+
+impl Umsc {
+    /// Fits the model on precomputed **sparse** per-view normalized
+    /// Laplacians. Mirrors [`Umsc::fit_laplacians`] without ever forming
+    /// an `n × n` dense matrix; use it when graphs are k-NN/ε-ball sparse
+    /// and `n` is large.
+    ///
+    /// Only the `Rotation`/`ScaledRotation` discretizations are meaningful
+    /// here; a `KMeans` discretization setting is treated as `Rotation`
+    /// (the two-stage ablation lives on the dense path, where the
+    /// comparison experiments run).
+    pub fn fit_laplacians_sparse(&self, laplacians: &[CsrMatrix]) -> Result<UmscResult> {
+        let cfg = self.config();
+        if laplacians.is_empty() {
+            return Err(UmscError::InvalidInput("no Laplacians given".into()));
+        }
+        let n = laplacians[0].rows();
+        for (v, l) in laplacians.iter().enumerate() {
+            if l.rows() != l.cols() || l.rows() != n {
+                return Err(UmscError::InvalidInput(format!(
+                    "sparse Laplacian {v} has shape {}x{}, expected {n}x{n}",
+                    l.rows(),
+                    l.cols()
+                )));
+            }
+        }
+        let c = cfg.num_clusters;
+        if c == 0 || c > n {
+            return Err(UmscError::InvalidInput(format!("bad num_clusters {c} for n = {n}")));
+        }
+        if let Weighting::Fixed(w) = &cfg.weighting {
+            if w.len() != laplacians.len() {
+                return Err(UmscError::InvalidInput("fixed weight count mismatch".into()));
+            }
+        }
+        if c == 1 {
+            return Ok(UmscResult {
+                labels: vec![0; n],
+                embedding: Matrix::filled(n, 1, 1.0 / (n as f64).sqrt()),
+                rotation: Matrix::identity(1),
+                indicator: Matrix::filled(n, 1, 1.0),
+                view_weights: vec![1.0 / laplacians.len() as f64; laplacians.len()],
+                history: Vec::new(),
+                converged: true,
+            });
+        }
+        let lambda_eff = cfg.lambda * c as f64 / (10.0 * n as f64);
+        let scaled = matches!(cfg.discretization, crate::Discretization::ScaledRotation);
+
+        // Warm start: relaxed (λ→0) solution via re-weighted Lanczos.
+        let nviews = laplacians.len();
+        let mut weights = self.initial_weights(nviews);
+        let mut f = sparse_embedding(laplacians, &weights, c, cfg.seed)?;
+        if matches!(cfg.weighting, Weighting::Auto) {
+            let mut prev = f64::INFINITY;
+            for _ in 0..cfg.max_iter.max(1) {
+                weights = auto_weights(&sparse_traces(laplacians, &f));
+                f = sparse_embedding(laplacians, &weights, c, cfg.seed)?;
+                let obj: f64 = sparse_traces(laplacians, &f).iter().map(|t| t.max(0.0).sqrt()).sum();
+                if (prev - obj).abs() <= cfg.tol * (1.0 + prev.abs()) {
+                    break;
+                }
+                prev = obj;
+            }
+        }
+
+        let mut r = init_rotation(&f)?;
+        let mut labels = discretize_rows(&f.matmul(&r));
+        let mut y = labels_to_indicator(&labels, c);
+        let mut history: Vec<IterationStats> = Vec::with_capacity(cfg.max_iter);
+        let mut converged = false;
+
+        for _iter in 0..cfg.max_iter {
+            if matches!(cfg.weighting, Weighting::Auto) {
+                weights = auto_weights(&sparse_traces(laplacians, &f));
+            }
+            let s: f64 = weights.iter().sum();
+            let eta = 2.0 * s + 1e-9;
+
+            // Matrix-free GPI.
+            let y_eff = if scaled { scaled_indicator(&y) } else { y.clone() };
+            let mut b_term = y_eff.matmul_transpose_b(&r);
+            b_term.scale_mut(lambda_eff);
+            for _inner in 0..cfg.gpi_max_iter.max(1) {
+                let mut m_mat = f.scale(eta);
+                for (l, &w) in laplacians.iter().zip(weights.iter()) {
+                    let lf = l.matmul_dense(&f);
+                    m_mat.axpy(-w, &lf);
+                }
+                m_mat.axpy(1.0, &b_term);
+                let f_new = polar_orthogonalize(&m_mat)?;
+                let delta = (&f_new - &f).frobenius_norm();
+                f = f_new;
+                if delta < 1e-9 * (c as f64).sqrt() {
+                    break;
+                }
+            }
+
+            // R/Y steps (row-normalized Procrustes, exact argmax).
+            let y_eff = if scaled { scaled_indicator(&y) } else { y.clone() };
+            let mut f_tilde = f.clone();
+            for i in 0..n {
+                umsc_linalg::ops::normalize(f_tilde.row_mut(i));
+            }
+            r = procrustes(&f_tilde.matmul_transpose_a(&y_eff))?;
+            let fr = f.matmul(&r);
+            labels = discretize_rows(&fr);
+            if scaled {
+                labels = crate::indicator::discretize_scaled(&fr, &labels, 30);
+            }
+            y = labels_to_indicator(&labels, c);
+
+            // Bookkeeping on the reported objective.
+            let traces = sparse_traces(laplacians, &f);
+            let emb: f64 = match &cfg.weighting {
+                Weighting::Auto => traces.iter().map(|t| t.max(0.0).sqrt()).sum(),
+                Weighting::Uniform => traces.iter().sum::<f64>() / traces.len() as f64,
+                Weighting::Fixed(w) => {
+                    let sw: f64 = w.iter().sum();
+                    w.iter().zip(traces.iter()).map(|(&wi, &t)| wi / sw * t).sum()
+                }
+            };
+            let y_eff = if scaled { scaled_indicator(&y) } else { y.clone() };
+            let diff = &f.matmul(&r) - &y_eff;
+            let rot = lambda_eff * diff.frobenius_norm().powi(2);
+            let objective = emb + rot;
+            let prev = history.last().map(|st: &IterationStats| st.objective);
+            history.push(IterationStats {
+                objective,
+                embedding_term: emb,
+                rotation_term: rot,
+                weights: normalized(&weights),
+            });
+            if let Some(p) = prev {
+                if (p - objective).abs() <= cfg.tol * (1.0 + p.abs()) {
+                    converged = true;
+                    break;
+                }
+            }
+        }
+
+        Ok(UmscResult {
+            labels,
+            embedding: f,
+            rotation: r,
+            indicator: y,
+            view_weights: normalized(&weights),
+            history,
+            converged,
+        })
+    }
+
+    fn initial_weights(&self, nviews: usize) -> Vec<f64> {
+        match &self.config().weighting {
+            Weighting::Fixed(w) => {
+                let s: f64 = w.iter().sum();
+                w.iter().map(|&x| x / s).collect()
+            }
+            _ => vec![1.0 / nviews as f64; nviews],
+        }
+    }
+}
+
+fn sparse_traces(laplacians: &[CsrMatrix], f: &Matrix) -> Vec<f64> {
+    laplacians
+        .iter()
+        .map(|l| {
+            let lf = l.matmul_dense(f);
+            f.matmul_transpose_a(&lf).trace()
+        })
+        .collect()
+}
+
+fn auto_weights(traces: &[f64]) -> Vec<f64> {
+    traces.iter().map(|t| 1.0 / (2.0 * t.max(1e-10).sqrt())).collect()
+}
+
+fn normalized(w: &[f64]) -> Vec<f64> {
+    let s: f64 = w.iter().sum();
+    if s > 0.0 {
+        w.iter().map(|&x| x / s).collect()
+    } else {
+        vec![1.0 / w.len().max(1) as f64; w.len()]
+    }
+}
+
+/// Weighted-sum sparse operator for the Lanczos warm start.
+struct WeightedSparseOp<'a> {
+    laplacians: &'a [CsrMatrix],
+    weights: &'a [f64],
+}
+
+impl LinearOperator for WeightedSparseOp<'_> {
+    fn dim(&self) -> usize {
+        self.laplacians[0].rows()
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        y.fill(0.0);
+        let mut tmp = vec![0.0; x.len()];
+        for (l, &w) in self.laplacians.iter().zip(self.weights.iter()) {
+            l.spmv(x, &mut tmp);
+            for (yi, &t) in y.iter_mut().zip(tmp.iter()) {
+                *yi += w * t;
+            }
+        }
+    }
+}
+
+fn sparse_embedding(laplacians: &[CsrMatrix], weights: &[f64], c: usize, seed: u64) -> Result<Matrix> {
+    let op = WeightedSparseOp { laplacians, weights };
+    let cfg = LanczosConfig { seed, initial_subspace: (2 * c + 20).min(op.dim()), ..Default::default() };
+    let (_, vecs) = lanczos_smallest(&op, c, &cfg)?;
+    Ok(vecs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{UmscConfig, Weighting};
+    use umsc_data::synth::{MultiViewGmm, ViewSpec};
+    use umsc_graph::{knn_affinity, normalized_laplacian_sparse, pairwise_sq_distances, Bandwidth};
+    use umsc_metrics::{clustering_accuracy, nmi};
+
+    fn sparse_laplacians(data: &umsc_data::MultiViewDataset, k: usize) -> Vec<CsrMatrix> {
+        data.views
+            .iter()
+            .map(|x| {
+                let d = pairwise_sq_distances(x);
+                let w = knn_affinity(&d, k, &Bandwidth::SelfTuning { k: 7 });
+                normalized_laplacian_sparse(&w)
+            })
+            .collect()
+    }
+
+    fn gmm(per: usize, seed: u64) -> umsc_data::MultiViewDataset {
+        let mut gen = MultiViewGmm::new("sp", 3, per, vec![ViewSpec::clean(6), ViewSpec::clean(8)]);
+        gen.separation = 6.0;
+        gen.generate(seed)
+    }
+
+    #[test]
+    fn sparse_path_matches_dense_path() {
+        // Same k-NN Laplacians through both doors.
+        let data = gmm(25, 1);
+        let model = Umsc::new(UmscConfig::new(3));
+        let sparse_ls = sparse_laplacians(&data, 10);
+        let dense_ls: Vec<Matrix> = sparse_ls.iter().map(|l| l.to_dense()).collect();
+        let dense = model.fit_laplacians(&dense_ls).unwrap();
+        let sparse = model.fit_laplacians_sparse(&sparse_ls).unwrap();
+        // Partitions agree (solvers differ in eigensolver internals, so
+        // demand partition identity, not bitwise equality).
+        assert!(nmi(&dense.labels, &sparse.labels) > 0.99, "partitions diverge");
+        let acc = clustering_accuracy(&sparse.labels, &data.labels);
+        assert!(acc > 0.95, "sparse path ACC {acc}");
+    }
+
+    #[test]
+    fn objective_monotone_and_structures_valid() {
+        let data = gmm(30, 2);
+        let res = Umsc::new(UmscConfig::new(3)).fit_laplacians_sparse(&sparse_laplacians(&data, 10)).unwrap();
+        for w in res.history.windows(2) {
+            assert!(w[1].objective <= w[0].objective + 1e-5 * (1.0 + w[0].objective.abs()));
+        }
+        assert!(res.embedding.matmul_transpose_a(&res.embedding).approx_eq(&Matrix::identity(3), 1e-6));
+        assert!((res.view_weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_view_downweighted_sparse() {
+        let mut data = gmm(30, 3);
+        data.corrupt_view(1, 1.0, 9);
+        let res = Umsc::new(UmscConfig::new(3)).fit_laplacians_sparse(&sparse_laplacians(&data, 10)).unwrap();
+        assert!(res.view_weights[1] < res.view_weights[0], "{:?}", res.view_weights);
+    }
+
+    #[test]
+    fn fixed_and_uniform_weighting() {
+        let data = gmm(20, 4);
+        let ls = sparse_laplacians(&data, 8);
+        let res = Umsc::new(UmscConfig::new(3).with_weighting(Weighting::Uniform))
+            .fit_laplacians_sparse(&ls)
+            .unwrap();
+        assert!(res.view_weights.iter().all(|&w| (w - 0.5).abs() < 1e-12));
+        let res = Umsc::new(UmscConfig::new(3).with_weighting(Weighting::Fixed(vec![3.0, 1.0])))
+            .fit_laplacians_sparse(&ls)
+            .unwrap();
+        assert!((res.view_weights[0] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validates_input() {
+        let model = Umsc::new(UmscConfig::new(2));
+        assert!(model.fit_laplacians_sparse(&[]).is_err());
+        let bad = vec![CsrMatrix::identity(3), CsrMatrix::identity(4)];
+        assert!(model.fit_laplacians_sparse(&bad).is_err());
+        let one = vec![CsrMatrix::identity(3)];
+        assert!(Umsc::new(UmscConfig::new(9)).fit_laplacians_sparse(&one).is_err());
+    }
+
+    #[test]
+    fn single_cluster_short_circuit() {
+        let res = Umsc::new(UmscConfig::new(1)).fit_laplacians_sparse(&[CsrMatrix::identity(5)]).unwrap();
+        assert_eq!(res.labels, vec![0; 5]);
+        assert!(res.converged);
+    }
+}

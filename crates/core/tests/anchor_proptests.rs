@@ -1,0 +1,86 @@
+//! Property tests for the anchor-graph solver: structural validity and
+//! determinism across random scenarios, plus agreement with the dense
+//! solver on well-separated data.
+
+use proptest::prelude::*;
+use umsc_core::anchor::{AnchorUmsc, AnchorUmscConfig};
+use umsc_core::{Umsc, UmscConfig};
+use umsc_data::synth::{MultiViewGmm, ViewSpec};
+use umsc_linalg::Matrix;
+use umsc_metrics::nmi;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    c: usize,
+    per: usize,
+    dims: Vec<usize>,
+    anchors: usize,
+    seed: u64,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (2usize..4, 10usize..20, prop::collection::vec(3usize..9, 1..3), 8usize..30, 0u64..300)
+        .prop_map(|(c, per, dims, anchors, seed)| Scenario { c, per, dims, anchors, seed })
+}
+
+fn generate(s: &Scenario, separation: f64) -> umsc_data::MultiViewDataset {
+    let mut gen = MultiViewGmm::new(
+        "anchor-prop",
+        s.c,
+        s.per,
+        s.dims.iter().map(|&d| ViewSpec::clean(d)).collect(),
+    );
+    gen.separation = separation;
+    gen.generate(s.seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn anchor_solver_invariants(s in scenario()) {
+        let data = generate(&s, 5.0);
+        let cfg = AnchorUmscConfig::new(s.c).with_anchors(s.anchors).with_seed(s.seed);
+        let res = AnchorUmsc::new(cfg).fit(&data).unwrap();
+        prop_assert_eq!(res.labels.len(), data.n());
+        prop_assert!(res.labels.iter().all(|&l| l < s.c));
+        // F orthonormal, R orthogonal, weights normalized.
+        let c = s.c;
+        prop_assert!(res.embedding.matmul_transpose_a(&res.embedding).approx_eq(&Matrix::identity(c), 1e-6));
+        prop_assert!(res.rotation.matmul_transpose_a(&res.rotation).approx_eq(&Matrix::identity(c), 1e-6));
+        prop_assert!((res.view_weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Objective trace is monotone (non-increasing within tolerance).
+        for w in res.history.windows(2) {
+            prop_assert!(w[1].objective <= w[0].objective + 1e-4 * (1.0 + w[0].objective.abs()));
+        }
+    }
+
+    #[test]
+    fn anchor_solver_deterministic(s in scenario()) {
+        let data = generate(&s, 5.0);
+        let mk = || {
+            AnchorUmsc::new(AnchorUmscConfig::new(s.c).with_anchors(s.anchors).with_seed(s.seed))
+                .fit(&data)
+                .unwrap()
+        };
+        prop_assert_eq!(mk().labels, mk().labels);
+    }
+
+    #[test]
+    fn agrees_with_dense_when_easy(s in scenario()) {
+        // On trivially separable data both solvers find essentially the
+        // same partition (a point or two may flip at blob boundaries when
+        // few anchors land in a blob, so require strong but not perfect
+        // agreement).
+        let data = generate(&s, 10.0);
+        let dense = Umsc::new(UmscConfig::new(s.c).with_seed(s.seed)).fit(&data).unwrap();
+        let anchor = AnchorUmsc::new(
+            AnchorUmscConfig::new(s.c).with_anchors(s.anchors.max(4 * s.c)).with_seed(s.seed),
+        )
+        .fit(&data)
+        .unwrap();
+        prop_assert!(nmi(&dense.labels, &anchor.labels) > 0.8, "partitions diverge: NMI {}", nmi(&dense.labels, &anchor.labels));
+        let agree = umsc_metrics::clustering_accuracy(&dense.labels, &anchor.labels);
+        prop_assert!(agree > 0.9, "label agreement only {agree}");
+    }
+}

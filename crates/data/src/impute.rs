@@ -1,0 +1,192 @@
+//! Missing-value imputation for multi-view data.
+//!
+//! Real multi-view datasets routinely have missing entries (sensor
+//! dropouts, partially observed views). The spectral pipeline needs
+//! complete matrices, so this module provides two standard imputers for
+//! features encoded with `NaN` as "missing":
+//!
+//! * [`impute_column_mean`] — replace each missing entry with its
+//!   column's observed mean (the safe baseline);
+//! * [`impute_knn_cross_view`] — for each point with missing entries in
+//!   one view, average the corresponding features of its `k` nearest
+//!   neighbours **measured in the other (complete) views** — exploiting
+//!   exactly the multi-view redundancy the clustering itself relies on.
+//!
+//! Both leave observed entries untouched and are deterministic.
+
+use crate::MultiViewDataset;
+use umsc_linalg::Matrix;
+
+/// Replaces every `NaN` in `x` with its column's observed mean
+/// (0.0 when a column is entirely missing). Returns the number of imputed
+/// entries.
+pub fn impute_column_mean(x: &mut Matrix) -> usize {
+    let (n, d) = x.shape();
+    let mut imputed = 0;
+    for j in 0..d {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for i in 0..n {
+            let v = x[(i, j)];
+            if v.is_finite() {
+                sum += v;
+                count += 1;
+            }
+        }
+        let mean = if count > 0 { sum / count as f64 } else { 0.0 };
+        for i in 0..n {
+            if !x[(i, j)].is_finite() {
+                x[(i, j)] = mean;
+                imputed += 1;
+            }
+        }
+    }
+    imputed
+}
+
+/// Imputes missing entries of view `target` using the `k` nearest
+/// neighbours in the remaining views (rows with any missing entry in the
+/// reference views are skipped as neighbours; distances use only the
+/// complete reference views). Falls back to column means when no usable
+/// neighbour exists. Returns the number of imputed entries.
+///
+/// # Panics
+/// Panics if `target` is out of range or `k == 0`.
+pub fn impute_knn_cross_view(data: &mut MultiViewDataset, target: usize, k: usize) -> usize {
+    assert!(target < data.views.len(), "impute_knn_cross_view: view {target} out of range");
+    assert!(k >= 1, "impute_knn_cross_view: k must be >= 1");
+    let n = data.n();
+
+    // Reference representation: concatenation of the other views.
+    let mut ref_rows: Vec<Vec<f64>> = vec![Vec::new(); n];
+    for (v, x) in data.views.iter().enumerate() {
+        if v == target {
+            continue;
+        }
+        for (i, row) in ref_rows.iter_mut().enumerate() {
+            row.extend_from_slice(x.row(i));
+        }
+    }
+    let usable: Vec<bool> = ref_rows.iter().map(|r| !r.is_empty() && r.iter().all(|v| v.is_finite())).collect();
+
+    let x = &mut data.views[target];
+    let d = x.cols();
+    let mut imputed = 0usize;
+
+    // Column means as the fallback (observed entries only).
+    let mut col_mean = vec![0.0f64; d];
+    let mut col_count = vec![0usize; d];
+    for i in 0..n {
+        for (j, &v) in x.row(i).iter().enumerate() {
+            if v.is_finite() {
+                col_mean[j] += v;
+                col_count[j] += 1;
+            }
+        }
+    }
+    for (m, &c) in col_mean.iter_mut().zip(col_count.iter()) {
+        if c > 0 {
+            *m /= c as f64;
+        }
+    }
+
+    for i in 0..n {
+        let missing: Vec<usize> = (0..d).filter(|&j| !x[(i, j)].is_finite()).collect();
+        if missing.is_empty() {
+            continue;
+        }
+        // Nearest usable neighbours in reference space.
+        let mut order: Vec<usize> = (0..n).filter(|&u| u != i && usable[u] && usable[i]).collect();
+        order.sort_by(|&a, &b| {
+            let da = umsc_linalg::ops::sq_dist(&ref_rows[i], &ref_rows[a]);
+            let db = umsc_linalg::ops::sq_dist(&ref_rows[i], &ref_rows[b]);
+            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for &j in &missing {
+            // Average the j-th feature over neighbours that observed it.
+            let mut sum = 0.0;
+            let mut count = 0usize;
+            for &u in order.iter() {
+                let v = x[(u, j)];
+                if v.is_finite() {
+                    sum += v;
+                    count += 1;
+                    if count == k {
+                        break;
+                    }
+                }
+            }
+            x[(i, j)] = if count > 0 { sum / count as f64 } else { col_mean[j] };
+            imputed += 1;
+        }
+    }
+    imputed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{MultiViewGmm, ViewSpec};
+
+    #[test]
+    fn column_mean_basics() {
+        let mut x = Matrix::from_rows(&[vec![1.0, f64::NAN], vec![3.0, 4.0], vec![f64::NAN, 6.0]]);
+        let imputed = impute_column_mean(&mut x);
+        assert_eq!(imputed, 2);
+        assert_eq!(x[(2, 0)], 2.0);
+        assert_eq!(x[(0, 1)], 5.0);
+        // Observed entries untouched.
+        assert_eq!(x[(1, 0)], 3.0);
+        // Fully missing column → 0.
+        let mut x = Matrix::from_rows(&[vec![f64::NAN], vec![f64::NAN]]);
+        impute_column_mean(&mut x);
+        assert_eq!(x[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn knn_cross_view_uses_neighbors() {
+        // Two clusters clearly separated in both views; a point of cluster
+        // 1 loses its view-1 features; kNN from view 0 must restore a
+        // cluster-1-like value, not the global mean.
+        let mut gen = MultiViewGmm::new("imp", 2, 15, vec![ViewSpec::clean(4), ViewSpec::clean(3)]);
+        gen.separation = 9.0;
+        let mut data = gen.generate(3);
+        let victim = 20; // belongs to cluster 1 (block-ordered labels)
+        assert_eq!(data.labels[victim], 1);
+        let original = data.views[1].row(victim).to_vec();
+        for j in 0..3 {
+            data.views[1][(victim, j)] = f64::NAN;
+        }
+        let imputed = impute_knn_cross_view(&mut data, 1, 4);
+        assert_eq!(imputed, 3);
+        let restored = data.views[1].row(victim).to_vec();
+        // Restored value is close to the original (same cluster geometry).
+        let err = umsc_linalg::ops::sq_dist(&original, &restored).sqrt();
+        // Against scale: distance between the two cluster means.
+        let mean = |c: usize| -> Vec<f64> {
+            let idx: Vec<usize> = (0..30).filter(|&i| data.labels[i] == c && i != victim).collect();
+            (0..3).map(|j| idx.iter().map(|&i| data.views[1][(i, j)]).sum::<f64>() / idx.len() as f64).collect()
+        };
+        let between = umsc_linalg::ops::sq_dist(&mean(0), &mean(1)).sqrt();
+        assert!(err < 0.5 * between, "imputation error {err} vs cluster gap {between}");
+        assert!(data.validate().is_ok());
+    }
+
+    #[test]
+    fn knn_falls_back_gracefully() {
+        // Single view: no reference views → column-mean fallback.
+        let mut data = MultiViewGmm::new("fb", 2, 5, vec![ViewSpec::clean(2)]).generate(0);
+        data.views[0][(0, 0)] = f64::NAN;
+        let imputed = impute_knn_cross_view(&mut data, 0, 3);
+        assert_eq!(imputed, 1);
+        assert!(data.views[0][(0, 0)].is_finite());
+    }
+
+    #[test]
+    fn no_missing_is_noop() {
+        let mut data = MultiViewGmm::new("no", 2, 5, vec![ViewSpec::clean(2), ViewSpec::clean(2)]).generate(1);
+        let before = data.views[0].clone();
+        assert_eq!(impute_knn_cross_view(&mut data, 0, 3), 0);
+        assert!(data.views[0].approx_eq(&before, 0.0));
+    }
+}

@@ -1,0 +1,165 @@
+//! CSV save/load for multi-view datasets.
+//!
+//! Layout on disk, under a directory `dir`:
+//!
+//! * `view_0.csv`, `view_1.csv`, … — one row per object, comma-separated
+//!   feature values;
+//! * `labels.csv` — one integer label per line.
+//!
+//! This is the bridge for users who *do* have the real benchmark data: dump
+//! each view to CSV from MATLAB/Python and point the loader at it.
+
+use crate::MultiViewDataset;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+use umsc_linalg::Matrix;
+
+/// Saves `dataset` under `dir` (created if missing).
+pub fn save_csv(dataset: &MultiViewDataset, dir: &Path) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    for (v, x) in dataset.views.iter().enumerate() {
+        let mut out = String::with_capacity(x.rows() * x.cols() * 8);
+        for i in 0..x.rows() {
+            let row = x.row(i);
+            for (j, val) in row.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                // `write!` to a String cannot fail.
+                let _ = write!(out, "{val}");
+            }
+            out.push('\n');
+        }
+        fs::write(dir.join(format!("view_{v}.csv")), out)?;
+    }
+    let labels: String = dataset.labels.iter().map(|l| format!("{l}\n")).collect();
+    fs::write(dir.join("labels.csv"), labels)?;
+    Ok(())
+}
+
+/// Loads a dataset previously written by [`save_csv`] (or hand-exported in
+/// the same layout). Views are discovered as consecutive `view_K.csv`.
+pub fn load_csv(dir: &Path, name: &str) -> io::Result<MultiViewDataset> {
+    let mut views = Vec::new();
+    for v in 0.. {
+        let path = dir.join(format!("view_{v}.csv"));
+        if !path.exists() {
+            break;
+        }
+        views.push(read_matrix(&path)?);
+    }
+    if views.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::NotFound, format!("no view_0.csv under {}", dir.display())));
+    }
+    let labels_raw = fs::read_to_string(dir.join("labels.csv"))?;
+    let labels: Vec<usize> = labels_raw
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| {
+            l.trim()
+                .parse::<usize>()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad label {l:?}: {e}")))
+        })
+        .collect::<io::Result<_>>()?;
+    let num_clusters = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let ds = MultiViewDataset { name: name.to_string(), views, labels, num_clusters };
+    ds.validate().map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    Ok(ds)
+}
+
+fn read_matrix(path: &Path) -> io::Result<Matrix> {
+    let raw = fs::read_to_string(path)?;
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for (lineno, line) in raw.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let row: Vec<f64> = line
+            .split(',')
+            .map(|tok| {
+                tok.trim().parse::<f64>().map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("{}:{}: bad value {tok:?}: {e}", path.display(), lineno + 1),
+                    )
+                })
+            })
+            .collect::<io::Result<_>>()?;
+        if let Some(first) = rows.first() {
+            if first.len() != row.len() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}:{}: ragged row ({} vs {} columns)", path.display(), lineno + 1, row.len(), first.len()),
+                ));
+            }
+        }
+        rows.push(row);
+    }
+    Ok(Matrix::from_rows(&rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{MultiViewGmm, ViewSpec};
+
+    fn tempdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("umsc_io_test_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn round_trip() {
+        let ds = MultiViewGmm::new("rt", 3, 5, vec![ViewSpec::clean(4), ViewSpec::clean(2)]).generate(1);
+        let dir = tempdir("rt");
+        save_csv(&ds, &dir).unwrap();
+        let back = load_csv(&dir, "rt").unwrap();
+        assert_eq!(back.n(), ds.n());
+        assert_eq!(back.labels, ds.labels);
+        assert_eq!(back.num_clusters, ds.num_clusters);
+        for (a, b) in back.views.iter().zip(ds.views.iter()) {
+            assert!(a.approx_eq(b, 1e-12));
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_dir_errors() {
+        assert!(load_csv(Path::new("/definitely/not/here"), "x").is_err());
+    }
+
+    #[test]
+    fn bad_label_is_invalid_data() {
+        let dir = tempdir("badlabel");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("view_0.csv"), "1.0,2.0\n3.0,4.0\n").unwrap();
+        fs::write(dir.join("labels.csv"), "0\nbanana\n").unwrap();
+        let err = load_csv(&dir, "x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let dir = tempdir("ragged");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("view_0.csv"), "1.0,2.0\n3.0\n").unwrap();
+        fs::write(dir.join("labels.csv"), "0\n1\n").unwrap();
+        let err = load_csv(&dir, "x").unwrap_err();
+        assert!(err.to_string().contains("ragged"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn inconsistent_dataset_rejected_on_load() {
+        let dir = tempdir("mismatch");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("view_0.csv"), "1.0\n2.0\n3.0\n").unwrap();
+        fs::write(dir.join("labels.csv"), "0\n1\n").unwrap(); // 2 labels, 3 rows
+        assert!(load_csv(&dir, "x").is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,244 @@
+//! # umsc-data
+//!
+//! Multi-view datasets for the clustering pipeline.
+//!
+//! The paper evaluates on six real benchmark datasets that are not
+//! redistributable here, so this crate provides **seeded synthetic
+//! generators** (see `DESIGN.md` §4 for the substitution argument):
+//!
+//! * [`synth`] — the core multi-view Gaussian-mixture generator with
+//!   per-view reliability, label noise, nonlinearity and text-like
+//!   sparsification; this is what the benchmark mimics are built from.
+//! * [`benchmarks`] — six named generators matching the published shape
+//!   (n, #views, per-view dims, #clusters, class balance) of MSRC-v1,
+//!   Caltech101-7, 3-Sources, BBCSport, Handwritten and ORL.
+//! * [`shapes`] — non-Gaussian multi-view geometry (two moons, rings)
+//!   where a kernel graph is essential.
+//! * [`io`] — CSV save/load so users can run the pipeline on real data.
+//!
+//! Everything is deterministic in the seed.
+
+pub mod benchmarks;
+pub mod impute;
+pub mod io;
+pub mod shapes;
+pub mod synth;
+
+pub use benchmarks::{benchmark, BenchmarkId};
+pub use impute::{impute_column_mean, impute_knn_cross_view};
+pub use synth::{MultiViewGmm, ViewKind, ViewSpec};
+
+use umsc_linalg::Matrix;
+
+/// A multi-view dataset: `V` feature matrices over the same `n` objects,
+/// plus ground-truth labels.
+#[derive(Debug, Clone)]
+pub struct MultiViewDataset {
+    /// Human-readable name (used by the bench harness tables).
+    pub name: String,
+    /// One `n × d_v` feature matrix per view.
+    pub views: Vec<Matrix>,
+    /// Ground-truth cluster id per object, in `0..num_clusters`.
+    pub labels: Vec<usize>,
+    /// Number of ground-truth clusters.
+    pub num_clusters: usize,
+}
+
+impl MultiViewDataset {
+    /// Number of objects.
+    pub fn n(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of views.
+    pub fn num_views(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Per-view feature dimensionalities.
+    pub fn view_dims(&self) -> Vec<usize> {
+        self.views.iter().map(|v| v.cols()).collect()
+    }
+
+    /// Checks internal consistency; returns a description of the first
+    /// violation found, if any.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.views.is_empty() {
+            return Err("dataset has no views".into());
+        }
+        let n = self.labels.len();
+        for (v, x) in self.views.iter().enumerate() {
+            if x.rows() != n {
+                return Err(format!("view {v} has {} rows, labels have {n}", x.rows()));
+            }
+            if x.cols() == 0 {
+                return Err(format!("view {v} has zero feature columns"));
+            }
+            if x.as_slice().iter().any(|f| !f.is_finite()) {
+                return Err(format!("view {v} contains non-finite features"));
+            }
+        }
+        if self.num_clusters == 0 {
+            return Err("num_clusters is zero".into());
+        }
+        if let Some(&bad) = self.labels.iter().find(|&&l| l >= self.num_clusters) {
+            return Err(format!("label {bad} out of range 0..{}", self.num_clusters));
+        }
+        // Every cluster should actually occur.
+        let mut seen = vec![false; self.num_clusters];
+        for &l in &self.labels {
+            seen[l] = true;
+        }
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            return Err(format!("cluster {missing} has no members"));
+        }
+        Ok(())
+    }
+
+    /// Replaces view `v` with pure Gaussian noise of the same shape —
+    /// the corrupted-view stressor used by experiment F3.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn corrupt_view(&mut self, v: usize, noise_std: f64, seed: u64) {
+        assert!(v < self.views.len(), "corrupt_view: view {v} out of range");
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (n, d) = self.views[v].shape();
+        self.views[v] = Matrix::from_fn(n, d, |_, _| {
+            // Box–Muller from two uniforms.
+            let u1: f64 = rng.random::<f64>().max(1e-12);
+            let u2: f64 = rng.random();
+            noise_std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        });
+    }
+
+    /// Sub-samples the dataset to roughly `max_n` points (stratified by
+    /// class, deterministic in `seed`), keeping every cluster non-empty.
+    /// Used by the quick bench profile.
+    pub fn subsample(&self, max_n: usize, seed: u64) -> MultiViewDataset {
+        if self.n() <= max_n {
+            return self.clone();
+        }
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // Group indices by class, shuffle within class.
+        let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); self.num_clusters];
+        for (i, &l) in self.labels.iter().enumerate() {
+            by_class[l].push(i);
+        }
+        for c in &mut by_class {
+            c.shuffle(&mut rng);
+        }
+        // Proportional allocation with a per-class floor: below ~k points a
+        // k-NN graph cannot represent a cluster at all, so heavy
+        // subsampling must trade away some class-unbalance fidelity to
+        // keep every cluster graph-representable.
+        let n = self.n() as f64;
+        let floor = (max_n / (2 * self.num_clusters)).max(1);
+        let mut chosen: Vec<usize> = Vec::with_capacity(max_n);
+        for class in &by_class {
+            let share = ((class.len() as f64 / n) * max_n as f64).round() as usize;
+            let take = share.clamp(floor.min(class.len()), class.len());
+            chosen.extend_from_slice(&class[..take]);
+        }
+        chosen.sort_unstable();
+
+        let views = self
+            .views
+            .iter()
+            .map(|x| {
+                let mut m = Matrix::zeros(chosen.len(), x.cols());
+                for (r, &i) in chosen.iter().enumerate() {
+                    m.row_mut(r).copy_from_slice(x.row(i));
+                }
+                m
+            })
+            .collect();
+        let labels = chosen.iter().map(|&i| self.labels[i]).collect();
+        MultiViewDataset {
+            name: format!("{}@{}", self.name, chosen.len()),
+            views,
+            labels,
+            num_clusters: self.num_clusters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> MultiViewDataset {
+        MultiViewDataset {
+            name: "tiny".into(),
+            views: vec![Matrix::from_fn(4, 2, |i, j| (i + j) as f64), Matrix::from_fn(4, 3, |i, _| i as f64)],
+            labels: vec![0, 0, 1, 1],
+            num_clusters: 2,
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let d = tiny();
+        assert_eq!(d.n(), 4);
+        assert_eq!(d.num_views(), 2);
+        assert_eq!(d.view_dims(), vec![2, 3]);
+        assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_catches_problems() {
+        let mut d = tiny();
+        d.labels[0] = 9;
+        assert!(d.validate().unwrap_err().contains("out of range"));
+
+        let mut d = tiny();
+        d.views[1] = Matrix::zeros(3, 3);
+        assert!(d.validate().unwrap_err().contains("rows"));
+
+        let mut d = tiny();
+        d.views.clear();
+        assert!(d.validate().unwrap_err().contains("no views"));
+
+        let mut d = tiny();
+        d.labels = vec![0, 0, 0, 0];
+        assert!(d.validate().unwrap_err().contains("no members"));
+
+        let mut d = tiny();
+        d.views[0][(0, 0)] = f64::NAN;
+        assert!(d.validate().unwrap_err().contains("non-finite"));
+    }
+
+    #[test]
+    fn corrupt_view_replaces_content_deterministically() {
+        let mut a = tiny();
+        let mut b = tiny();
+        a.corrupt_view(0, 1.0, 99);
+        b.corrupt_view(0, 1.0, 99);
+        assert!(a.views[0].approx_eq(&b.views[0], 0.0));
+        assert!(!a.views[0].approx_eq(&tiny().views[0], 1e-6));
+        // Other views untouched.
+        assert!(a.views[1].approx_eq(&tiny().views[1], 0.0));
+        assert!(a.validate().is_ok());
+    }
+
+    #[test]
+    fn subsample_preserves_classes_and_shapes() {
+        let d = crate::benchmark(crate::BenchmarkId::Msrcv1, 1);
+        let s = d.subsample(60, 0);
+        assert!(s.n() <= 60 + s.num_clusters);
+        assert!(s.validate().is_ok(), "{:?}", s.validate());
+        assert_eq!(s.num_views(), d.num_views());
+        assert_eq!(s.view_dims(), d.view_dims());
+    }
+
+    #[test]
+    fn subsample_noop_when_small() {
+        let d = tiny();
+        let s = d.subsample(100, 0);
+        assert_eq!(s.n(), 4);
+        assert_eq!(s.name, "tiny");
+    }
+}

@@ -1,0 +1,153 @@
+//! Non-Gaussian multi-view geometry.
+//!
+//! K-means fails on these by construction; spectral methods succeed only
+//! through the graph. They exercise the kernel/graph half of the pipeline
+//! and back the "quickstart" and "noisy view" examples.
+
+use crate::MultiViewDataset;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use umsc_linalg::Matrix;
+
+/// Two interleaved half-moons observed through multiple views.
+///
+/// * view 0 — the raw 2-D coordinates (plus noise);
+/// * view 1 — a rotated + anisotropically scaled copy (a different sensor);
+/// * view 2 — a smooth nonlinear warp `(tanh 1.5x, tanh 1.5y, ½(x²−y²))`:
+///   informative (the warp is locality-preserving) but degraded, like a
+///   saturating sensor.
+///
+/// `n` points total (split evenly), `noise` is the coordinate jitter.
+pub fn two_moons_multiview(n: usize, noise: f64, seed: u64) -> MultiViewDataset {
+    assert!(n >= 4, "two_moons_multiview: need n >= 4");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let half = n / 2;
+    let mut base = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let (label, t) = if i < half {
+            (0usize, std::f64::consts::PI * i as f64 / (half.max(1)) as f64)
+        } else {
+            (1usize, std::f64::consts::PI * (i - half) as f64 / (n - half).max(1) as f64)
+        };
+        let (x, y) = if label == 0 {
+            (t.cos(), t.sin())
+        } else {
+            (1.0 - t.cos(), 0.5 - t.sin())
+        };
+        base.push(vec![x + noise * normal(&mut rng), y + noise * normal(&mut rng)]);
+        labels.push(label);
+    }
+    let view0 = Matrix::from_rows(&base);
+
+    // Rotated & scaled sensor.
+    let th = 0.7f64;
+    let view1 = Matrix::from_fn(n, 2, |i, j| {
+        let (x, y) = (base[i][0], base[i][1]);
+        match j {
+            0 => 1.5 * (th.cos() * x - th.sin() * y) + noise * 0.5,
+            _ => 0.75 * (th.sin() * x + th.cos() * y),
+        }
+    });
+
+    // Nonlinear (locality-preserving) warp.
+    let view2 = Matrix::from_fn(n, 3, |i, j| {
+        let (x, y) = (base[i][0], base[i][1]);
+        match j {
+            0 => (1.5 * x).tanh(),
+            1 => (1.5 * y).tanh(),
+            _ => 0.5 * (x * x - y * y),
+        }
+    });
+
+    MultiViewDataset {
+        name: "two-moons-mv".into(),
+        views: vec![view0, view1, view2],
+        labels,
+        num_clusters: 2,
+    }
+}
+
+/// Concentric rings (`c` rings of radius 1, 2, …) in two views: Cartesian
+/// coordinates and a radius-revealing view. The Cartesian view alone is
+/// hard for K-means; the radius view alone loses angular continuity; the
+/// pair is easy for a fused graph.
+///
+/// Ring `k` receives `per_ring · (k+1)` points so every ring has the same
+/// *arc density* — otherwise outer rings are sparser than the ring gap and
+/// no locality-based graph can separate them. Total
+/// `n = per_ring · c·(c+1)/2`.
+pub fn rings_multiview(c: usize, per_ring: usize, noise: f64, seed: u64) -> MultiViewDataset {
+    assert!(c >= 1 && per_ring >= 3, "rings_multiview: need c >= 1, per_ring >= 3");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = per_ring * c * (c + 1) / 2;
+    let mut cart = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for ring in 0..c {
+        let r = (ring + 1) as f64;
+        let count = per_ring * (ring + 1);
+        for i in 0..count {
+            let a = 2.0 * std::f64::consts::PI * i as f64 / count as f64;
+            cart.push(vec![r * a.cos() + noise * normal(&mut rng), r * a.sin() + noise * normal(&mut rng)]);
+            labels.push(ring);
+        }
+    }
+    let view0 = Matrix::from_rows(&cart);
+    let view1 = Matrix::from_fn(n, 2, |i, j| {
+        let (x, y) = (cart[i][0], cart[i][1]);
+        match j {
+            0 => (x * x + y * y).sqrt(),           // radius: separates rings
+            _ => 0.1 * y.atan2(x),                 // angle: weakly informative
+        }
+    });
+    MultiViewDataset { name: "rings-mv".into(), views: vec![view0, view1], labels, num_clusters: c }
+}
+
+fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moons_shape_and_balance() {
+        let d = two_moons_multiview(100, 0.05, 0);
+        assert_eq!(d.n(), 100);
+        assert_eq!(d.num_views(), 3);
+        assert_eq!(d.num_clusters, 2);
+        assert!(d.validate().is_ok());
+        assert_eq!(d.labels.iter().filter(|&&l| l == 0).count(), 50);
+    }
+
+    #[test]
+    fn moons_odd_n() {
+        let d = two_moons_multiview(7, 0.0, 1);
+        assert_eq!(d.n(), 7);
+        assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn rings_radius_view_separates() {
+        let d = rings_multiview(3, 40, 0.02, 2);
+        assert_eq!(d.n(), 40 * 6);
+        assert!(d.validate().is_ok());
+        // The radius feature clusters tightly around 1, 2, 3.
+        let v1 = &d.views[1];
+        for i in 0..d.n() {
+            let r = v1[(i, 0)];
+            let expected = (d.labels[i] + 1) as f64;
+            assert!((r - expected).abs() < 0.3, "point {i}: r = {r}, ring {expected}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = two_moons_multiview(30, 0.1, 9);
+        let b = two_moons_multiview(30, 0.1, 9);
+        assert!(a.views[0].approx_eq(&b.views[0], 0.0));
+    }
+}

@@ -1,0 +1,347 @@
+//! Core multi-view Gaussian-mixture generator.
+//!
+//! The generative model mirrors what makes real multi-view benchmarks
+//! interesting for *clustering method comparisons*:
+//!
+//! 1. A shared latent cluster structure: cluster centers drawn in a latent
+//!    space, points scattered around their center.
+//! 2. Per-view **observation maps**: each view sees the latent point through
+//!    its own random linear map into its own feature dimension, optionally
+//!    squashed through a tanh nonlinearity or rectified/sparsified into
+//!    text-like counts.
+//! 3. Per-view **reliability**: a view's signal scale (how far apart the
+//!    cluster centers are, relative to within-cluster noise) and its
+//!    **label noise** (fraction of points whose latent position in that
+//!    view comes from a *different* cluster) differ per view. Good
+//!    multi-view methods exploit reliable views and discount bad ones.
+//!
+//! Every sample is deterministic in the seed.
+
+use crate::MultiViewDataset;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use umsc_linalg::Matrix;
+
+/// Feature-map family of a view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViewKind {
+    /// Plain linear Gaussian features.
+    Linear,
+    /// `tanh`-squashed features (image-descriptor-like saturation).
+    Nonlinear,
+    /// Non-negative, sparsified features (TF-IDF-like text view).
+    Text,
+}
+
+/// Specification of one view.
+#[derive(Debug, Clone)]
+pub struct ViewSpec {
+    /// Feature dimensionality of the view.
+    pub dim: usize,
+    /// Signal scale: multiplies the cluster-center separation seen by this
+    /// view. `0.0` makes the view pure noise.
+    pub signal: f64,
+    /// Standard deviation of additive feature noise.
+    pub noise_std: f64,
+    /// Fraction of points whose latent vector is replaced, *in this view
+    /// only*, by a draw from a random other cluster (view disagreement).
+    pub label_noise: f64,
+    /// Feature-map family.
+    pub kind: ViewKind,
+}
+
+impl ViewSpec {
+    /// A clean linear view of dimension `dim`.
+    pub fn clean(dim: usize) -> Self {
+        ViewSpec { dim, signal: 1.0, noise_std: 0.5, label_noise: 0.0, kind: ViewKind::Linear }
+    }
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct MultiViewGmm {
+    /// Dataset name stamped on the output.
+    pub name: String,
+    /// Cluster sizes (also fixes `n = Σ sizes` and `c = sizes.len()`).
+    pub cluster_sizes: Vec<usize>,
+    /// View specifications.
+    pub views: Vec<ViewSpec>,
+    /// Distance between cluster centers in latent space, in units of the
+    /// within-cluster standard deviation (1.0). Values ≳ 4 are
+    /// well-separated; ≲ 2 is hard.
+    pub separation: f64,
+    /// Latent-space dimensionality (defaults to `max(c, 4)` via [`MultiViewGmm::new`]).
+    pub latent_dim: usize,
+}
+
+impl MultiViewGmm {
+    /// Balanced configuration: `c` clusters of `per_cluster` points each.
+    pub fn new(name: &str, c: usize, per_cluster: usize, views: Vec<ViewSpec>) -> Self {
+        MultiViewGmm {
+            name: name.to_string(),
+            cluster_sizes: vec![per_cluster; c],
+            views,
+            separation: 5.0,
+            latent_dim: c.max(4),
+        }
+    }
+
+    /// Samples a dataset. Deterministic in `seed`.
+    ///
+    /// # Panics
+    /// Panics if there are no clusters, an empty cluster, or no views.
+    pub fn generate(&self, seed: u64) -> MultiViewDataset {
+        let c = self.cluster_sizes.len();
+        assert!(c >= 1, "MultiViewGmm: need at least one cluster");
+        assert!(self.cluster_sizes.iter().all(|&s| s >= 1), "MultiViewGmm: empty cluster size");
+        assert!(!self.views.is_empty(), "MultiViewGmm: need at least one view");
+        let n: usize = self.cluster_sizes.iter().sum();
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Latent cluster centers with a *guaranteed* minimum pairwise
+        // distance of `separation` (in units of the within-cluster std):
+        // random Gaussian centers alone would occasionally collide, making
+        // the parameter's meaning seed-dependent. Rejection-sample each
+        // center against the ones already placed; if a crowded
+        // configuration exhausts the attempt budget, keep the best try.
+        let mut centers = Matrix::zeros(c, self.latent_dim);
+        for k in 0..c {
+            let mut best: Option<(f64, Vec<f64>)> = None;
+            for _attempt in 0..100 {
+                let cand: Vec<f64> = (0..self.latent_dim)
+                    .map(|_| self.separation / (2.0f64).sqrt() * normal(&mut rng))
+                    .collect();
+                let min_dist = (0..k)
+                    .map(|j| {
+                        cand.iter()
+                            .zip(centers.row(j).iter())
+                            .map(|(a, b)| (a - b) * (a - b))
+                            .sum::<f64>()
+                            .sqrt()
+                    })
+                    .fold(f64::INFINITY, f64::min);
+                if best.as_ref().is_none_or(|(d, _)| min_dist > *d) {
+                    best = Some((min_dist, cand));
+                }
+                if min_dist >= self.separation {
+                    break;
+                }
+            }
+            let (_, cand) = best.expect("at least one attempt");
+            centers.row_mut(k).copy_from_slice(&cand);
+        }
+
+        // Labels in cluster-block order.
+        let mut labels = Vec::with_capacity(n);
+        for (k, &size) in self.cluster_sizes.iter().enumerate() {
+            labels.extend(std::iter::repeat_n(k, size));
+        }
+
+        // Latent points: center + unit noise. Kept per view (label noise can
+        // resample the latent from another cluster in one view only).
+        let base_latents = Matrix::from_fn(n, self.latent_dim, |i, j| {
+            centers[(labels[i], j)] + normal(&mut rng)
+        });
+
+        let views = self
+            .views
+            .iter()
+            .map(|spec| self.generate_view(spec, &centers, &base_latents, &labels, &mut rng))
+            .collect();
+
+        MultiViewDataset { name: self.name.clone(), views, labels, num_clusters: c }
+    }
+
+    fn generate_view(
+        &self,
+        spec: &ViewSpec,
+        centers: &Matrix,
+        base_latents: &Matrix,
+        labels: &[usize],
+        rng: &mut StdRng,
+    ) -> Matrix {
+        let n = labels.len();
+        let c = centers.rows();
+        let ld = self.latent_dim;
+        // Per-view latents: scale the *center* contribution by the view's
+        // signal, optionally swapping in a wrong-cluster center.
+        let mut latents = Matrix::zeros(n, ld);
+        for i in 0..n {
+            let swap = spec.label_noise > 0.0 && rng.random::<f64>() < spec.label_noise && c > 1;
+            let eff_label = if swap {
+                let mut other = rng.random_range(0..c - 1);
+                if other >= labels[i] {
+                    other += 1;
+                }
+                other
+            } else {
+                labels[i]
+            };
+            for j in 0..ld {
+                let noise = base_latents[(i, j)] - centers[(labels[i], j)];
+                latents[(i, j)] = spec.signal * centers[(eff_label, j)] + noise;
+            }
+        }
+
+        // Random observation map, column-normalized so feature scale is
+        // insensitive to `dim`.
+        let map = Matrix::from_fn(ld, spec.dim, |_, _| normal(rng) / (ld as f64).sqrt());
+        let mut x = latents.matmul(&map);
+
+        // Feature-map family + additive noise.
+        match spec.kind {
+            ViewKind::Linear => {}
+            ViewKind::Nonlinear => x.map_mut(|v| v.tanh() * 3.0),
+            ViewKind::Text => {
+                // Rectify and sparsify: keep only clearly-positive activations.
+                x.map_mut(|v| if v > 0.5 { v - 0.5 } else { 0.0 });
+            }
+        }
+        if spec.noise_std > 0.0 {
+            for i in 0..n {
+                for v in x.row_mut(i) {
+                    *v += spec.noise_std * normal(rng);
+                }
+            }
+            if spec.kind == ViewKind::Text {
+                // Text stays non-negative after noise.
+                x.map_mut(|v| v.max(0.0));
+            }
+        }
+        x
+    }
+}
+
+/// Standard normal via Box–Muller (one value per call; simple and adequate).
+fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umsc_linalg::ops::sq_dist;
+
+    fn spec() -> MultiViewGmm {
+        MultiViewGmm::new(
+            "t",
+            3,
+            20,
+            vec![
+                ViewSpec::clean(6),
+                ViewSpec { dim: 10, signal: 0.8, noise_std: 0.5, label_noise: 0.1, kind: ViewKind::Nonlinear },
+                ViewSpec { dim: 30, signal: 1.0, noise_std: 0.2, label_noise: 0.0, kind: ViewKind::Text },
+            ],
+        )
+    }
+
+    #[test]
+    fn shapes_and_validity() {
+        let d = spec().generate(0);
+        assert_eq!(d.n(), 60);
+        assert_eq!(d.num_views(), 3);
+        assert_eq!(d.view_dims(), vec![6, 10, 30]);
+        assert_eq!(d.num_clusters, 3);
+        assert!(d.validate().is_ok(), "{:?}", d.validate());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = spec().generate(7);
+        let b = spec().generate(7);
+        for (x, y) in a.views.iter().zip(b.views.iter()) {
+            assert!(x.approx_eq(y, 0.0));
+        }
+        let c = spec().generate(8);
+        assert!(!a.views[0].approx_eq(&c.views[0], 1e-9), "different seeds must differ");
+    }
+
+    #[test]
+    fn text_view_is_nonnegative_and_sparse() {
+        let d = spec().generate(3);
+        let text = &d.views[2];
+        assert!(text.as_slice().iter().all(|&v| v >= 0.0));
+        let zeros = text.as_slice().iter().filter(|&&v| v == 0.0).count();
+        assert!(zeros as f64 > 0.2 * text.as_slice().len() as f64, "text view not sparse: {zeros} zeros");
+    }
+
+    #[test]
+    fn separation_controls_cluster_tightness() {
+        // Within-cluster distances must be below cross-cluster distances in
+        // a clean, well-separated view.
+        let mut cfg = spec();
+        cfg.views.truncate(1);
+        cfg.separation = 8.0;
+        let d = cfg.generate(1);
+        let x = &d.views[0];
+        let mut within = 0.0;
+        let mut across = 0.0;
+        let mut nw = 0;
+        let mut na = 0;
+        for i in 0..d.n() {
+            for j in (i + 1)..d.n() {
+                if d.labels[i] == d.labels[j] {
+                    within += sq_dist(x.row(i), x.row(j));
+                    nw += 1;
+                } else {
+                    across += sq_dist(x.row(i), x.row(j));
+                    na += 1;
+                }
+            }
+        }
+        assert!(across / na as f64 > 3.0 * within / nw as f64, "clusters not separated");
+    }
+
+    #[test]
+    fn zero_signal_view_is_uninformative() {
+        let cfg = MultiViewGmm::new(
+            "noise",
+            2,
+            25,
+            vec![ViewSpec { signal: 0.0, ..ViewSpec::clean(5) }],
+        );
+        let d = cfg.generate(5);
+        // Class means in the noise view are statistically indistinguishable:
+        // check their distance is tiny relative to feature spread.
+        let x = &d.views[0];
+        let mut m0 = vec![0.0; 5];
+        let mut m1 = vec![0.0; 5];
+        for i in 0..d.n() {
+            let target = if d.labels[i] == 0 { &mut m0 } else { &mut m1 };
+            for (t, &v) in target.iter_mut().zip(x.row(i).iter()) {
+                *t += v / 25.0;
+            }
+        }
+        let gap = sq_dist(&m0, &m1).sqrt();
+        assert!(gap < 1.5, "noise view leaks cluster structure: gap {gap}");
+    }
+
+    #[test]
+    fn unbalanced_cluster_sizes() {
+        let cfg = MultiViewGmm {
+            name: "unbal".into(),
+            cluster_sizes: vec![5, 30, 2],
+            views: vec![ViewSpec::clean(4)],
+            separation: 6.0,
+            latent_dim: 4,
+        };
+        let d = cfg.generate(0);
+        assert_eq!(d.n(), 37);
+        assert_eq!(d.labels.iter().filter(|&&l| l == 2).count(), 2);
+        assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn label_noise_only_affects_its_view() {
+        let base = MultiViewGmm::new("a", 2, 30, vec![ViewSpec::clean(4), ViewSpec::clean(4)]);
+        let mut noisy = base.clone();
+        noisy.views[1].label_noise = 0.5;
+        // Same seed ⇒ same view 0 (draws for view 1's label noise come after
+        // view 0 is fully generated).
+        let d0 = base.generate(9);
+        let d1 = noisy.generate(9);
+        assert!(d0.views[0].approx_eq(&d1.views[0], 0.0));
+    }
+}

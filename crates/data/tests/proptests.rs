@@ -1,0 +1,113 @@
+//! Property tests for the dataset generators: structural validity for
+//! arbitrary configurations, determinism, corruption/subsampling
+//! invariants, and the latent-separation contract.
+
+use proptest::prelude::*;
+use umsc_data::synth::{MultiViewGmm, ViewKind, ViewSpec};
+use umsc_data::{benchmark, BenchmarkId};
+
+#[derive(Debug, Clone)]
+struct Cfg {
+    sizes: Vec<usize>,
+    views: Vec<(usize, u8)>, // (dim, kind tag)
+    separation: f64,
+    seed: u64,
+}
+
+fn cfg() -> impl Strategy<Value = Cfg> {
+    (
+        prop::collection::vec(2usize..20, 1..5),
+        prop::collection::vec((1usize..25, 0u8..3), 1..4),
+        1.0f64..8.0,
+        0u64..10_000,
+    )
+        .prop_map(|(sizes, views, separation, seed)| Cfg { sizes, views, separation, seed })
+}
+
+fn build(c: &Cfg) -> MultiViewGmm {
+    MultiViewGmm {
+        name: "prop".into(),
+        cluster_sizes: c.sizes.clone(),
+        views: c
+            .views
+            .iter()
+            .map(|&(dim, kind)| ViewSpec {
+                dim,
+                signal: 0.8,
+                noise_std: 0.4,
+                label_noise: 0.1,
+                kind: match kind {
+                    0 => ViewKind::Linear,
+                    1 => ViewKind::Nonlinear,
+                    _ => ViewKind::Text,
+                },
+            })
+            .collect(),
+        separation: c.separation,
+        latent_dim: c.sizes.len().max(4),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generated_datasets_always_valid(c in cfg()) {
+        let d = build(&c).generate(c.seed);
+        prop_assert!(d.validate().is_ok(), "{:?}", d.validate());
+        prop_assert_eq!(d.n(), c.sizes.iter().sum::<usize>());
+        prop_assert_eq!(d.num_clusters, c.sizes.len());
+        prop_assert_eq!(d.view_dims(), c.views.iter().map(|v| v.0).collect::<Vec<_>>());
+        // Per-cluster counts match the requested sizes.
+        for (k, &s) in c.sizes.iter().enumerate() {
+            prop_assert_eq!(d.labels.iter().filter(|&&l| l == k).count(), s);
+        }
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive(c in cfg()) {
+        let a = build(&c).generate(c.seed);
+        let b = build(&c).generate(c.seed);
+        for (x, y) in a.views.iter().zip(b.views.iter()) {
+            prop_assert!(x.approx_eq(y, 0.0));
+        }
+        let other = build(&c).generate(c.seed.wrapping_add(1));
+        // Different seed gives different features (n*d > 0 always here).
+        prop_assert!(!a.views[0].approx_eq(&other.views[0], 1e-12));
+    }
+
+    #[test]
+    fn text_views_nonnegative(c in cfg()) {
+        let d = build(&c).generate(c.seed);
+        for (spec, view) in build(&c).views.iter().zip(d.views.iter()) {
+            if spec.kind == ViewKind::Text {
+                prop_assert!(view.as_slice().iter().all(|&v| v >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_only_touches_target_view(c in cfg(), noise in 0.1f64..2.0) {
+        prop_assume!(c.views.len() >= 2);
+        let base = build(&c).generate(c.seed);
+        let mut corrupted = base.clone();
+        corrupted.corrupt_view(1, noise, 42);
+        prop_assert!(corrupted.views[0].approx_eq(&base.views[0], 0.0));
+        prop_assert!(!corrupted.views[1].approx_eq(&base.views[1], 1e-12));
+        prop_assert!(corrupted.validate().is_ok());
+    }
+
+    #[test]
+    fn subsample_contract(cap in 10usize..100, seed in 0u64..100) {
+        let d = benchmark(BenchmarkId::Msrcv1, seed);
+        let s = d.subsample(cap, seed);
+        prop_assert!(s.validate().is_ok(), "{:?}", s.validate());
+        prop_assert!(s.n() <= cap + s.num_clusters, "n = {} for cap {cap}", s.n());
+        prop_assert_eq!(s.num_views(), d.num_views());
+        prop_assert_eq!(s.num_clusters, d.num_clusters);
+        // Every cluster still inhabited.
+        for k in 0..s.num_clusters {
+            prop_assert!(s.labels.iter().any(|&l| l == k));
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Pairwise distance matrices.
+//!
+//! Spectral clustering starts from an `n × n` distance matrix per view.
+//! Squared Euclidean distances are computed via the expansion
+//! `‖x−y‖² = ‖x‖² + ‖y‖² − 2·xᵀy` so the dominant cost is one GEMM, with a
+//! clamp at zero to absorb the cancellation error the expansion can incur.
+
+use umsc_linalg::Matrix;
+
+/// Pairwise **squared** Euclidean distances between the rows of `x`.
+///
+/// Returns a symmetric `n × n` matrix with an exactly-zero diagonal.
+pub fn pairwise_sq_distances(x: &Matrix) -> Matrix {
+    let n = x.rows();
+    let sq_norms: Vec<f64> = (0..n).map(|i| umsc_linalg::ops::dot(x.row(i), x.row(i))).collect();
+    let gram = x.matmul_transpose_b(x);
+    let mut d = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let v = (sq_norms[i] + sq_norms[j] - 2.0 * gram[(i, j)]).max(0.0);
+            d[(i, j)] = v;
+            d[(j, i)] = v;
+        }
+    }
+    d
+}
+
+/// Pairwise cosine distances `1 − cos(x_i, x_j)` between the rows of `x`.
+///
+/// Zero rows are treated as maximally distant (distance 1) from everything,
+/// including other zero rows — a safe convention for sparse text views.
+pub fn cosine_distance_matrix(x: &Matrix) -> Matrix {
+    let n = x.rows();
+    let norms: Vec<f64> = (0..n).map(|i| umsc_linalg::ops::norm2(x.row(i))).collect();
+    let gram = x.matmul_transpose_b(x);
+    let mut d = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let denom = norms[i] * norms[j];
+            let v = if denom > 0.0 {
+                (1.0 - gram[(i, j)] / denom).clamp(0.0, 2.0)
+            } else {
+                1.0
+            };
+            d[(i, j)] = v;
+            d[(j, i)] = v;
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sq_distances_match_definition() {
+        let x = Matrix::from_rows(&[vec![0.0, 0.0], vec![3.0, 4.0], vec![-1.0, 1.0]]);
+        let d = pairwise_sq_distances(&x);
+        assert_eq!(d[(0, 1)], 25.0);
+        assert_eq!(d[(1, 0)], 25.0);
+        assert_eq!(d[(0, 2)], 2.0);
+        assert!((d[(1, 2)] - (16.0 + 9.0)).abs() < 1e-12);
+        for i in 0..3 {
+            assert_eq!(d[(i, i)], 0.0);
+        }
+    }
+
+    #[test]
+    fn duplicate_points_zero_distance() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![1.0, 2.0]]);
+        let d = pairwise_sq_distances(&x);
+        assert_eq!(d[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn never_negative_under_cancellation() {
+        // Large norms with tiny differences stress the expansion formula.
+        let x = Matrix::from_rows(&[vec![1e8, 1e8], vec![1e8 + 1e-4, 1e8]]);
+        let d = pairwise_sq_distances(&x);
+        assert!(d[(0, 1)] >= 0.0);
+    }
+
+    #[test]
+    fn cosine_distance_basics() {
+        let x = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![2.0, 0.0],  // parallel to row 0
+            vec![0.0, 5.0],  // orthogonal
+            vec![-1.0, 0.0], // anti-parallel
+            vec![0.0, 0.0],  // zero row
+        ]);
+        let d = cosine_distance_matrix(&x);
+        assert!(d[(0, 1)].abs() < 1e-12, "parallel → 0");
+        assert!((d[(0, 2)] - 1.0).abs() < 1e-12, "orthogonal → 1");
+        assert!((d[(0, 3)] - 2.0).abs() < 1e-12, "anti-parallel → 2");
+        assert_eq!(d[(0, 4)], 1.0, "zero row convention");
+        assert!(d.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn single_point_and_empty() {
+        let d = pairwise_sq_distances(&Matrix::from_rows(&[vec![1.0]]));
+        assert_eq!(d.shape(), (1, 1));
+        assert_eq!(d[(0, 0)], 0.0);
+        let d = pairwise_sq_distances(&Matrix::zeros(0, 3));
+        assert_eq!(d.shape(), (0, 0));
+    }
+}

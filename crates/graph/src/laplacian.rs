@@ -1,0 +1,215 @@
+//! Graph Laplacians.
+//!
+//! Given a symmetric non-negative affinity `W` with degrees `d_i = Σ_j w_ij`:
+//!
+//! * unnormalized: `L = D − W`
+//! * symmetric-normalized: `L_sym = I − D^{-1/2} W D^{-1/2}` — the paper's
+//!   choice (its spectrum lives in `[0, 2]` and its Rayleigh quotients are
+//!   the relaxed normalized-cut objective)
+//! * random-walk: `L_rw = I − D^{-1} W`
+//!
+//! Isolated vertices (zero degree) are handled by treating `d^{-1/2}` as 0,
+//! which leaves the corresponding row/column of the normalized Laplacian at
+//! `I`'s values — standard practice.
+
+use crate::sparse::CsrMatrix;
+use umsc_linalg::Matrix;
+
+/// Weighted degree vector `d_i = Σ_j w_ij` of a dense affinity.
+pub fn degrees(w: &Matrix) -> Vec<f64> {
+    assert!(w.is_square(), "degrees: affinity not square");
+    w.rows_iter().map(|r| r.iter().sum()).collect()
+}
+
+/// Unnormalized Laplacian `L = D − W` (dense).
+pub fn unnormalized_laplacian(w: &Matrix) -> Matrix {
+    let d = degrees(w);
+    let n = w.rows();
+    let mut l = -w;
+    for i in 0..n {
+        l[(i, i)] += d[i];
+    }
+    l
+}
+
+/// Symmetric-normalized Laplacian `L = I − D^{-1/2} W D^{-1/2}` (dense).
+///
+/// The result is exactly symmetrized to absorb floating-point noise so it
+/// can feed the symmetric eigensolver directly.
+pub fn normalized_laplacian(w: &Matrix) -> Matrix {
+    let d = degrees(w);
+    let n = w.rows();
+    let inv_sqrt: Vec<f64> = d.iter().map(|&x| if x > 0.0 { 1.0 / x.sqrt() } else { 0.0 }).collect();
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            let v = -inv_sqrt[i] * w[(i, j)] * inv_sqrt[j];
+            l[(i, j)] = if i == j { 1.0 + v } else { v };
+        }
+    }
+    l.symmetrize_mut();
+    l
+}
+
+/// Random-walk Laplacian `L = I − D^{-1} W` (dense, generally asymmetric).
+pub fn random_walk_laplacian(w: &Matrix) -> Matrix {
+    let d = degrees(w);
+    let n = w.rows();
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        let inv = if d[i] > 0.0 { 1.0 / d[i] } else { 0.0 };
+        for j in 0..n {
+            let v = -inv * w[(i, j)];
+            l[(i, j)] = if i == j { 1.0 + v } else { v };
+        }
+    }
+    l
+}
+
+/// Symmetric-normalized Laplacian of a sparse affinity, kept sparse.
+pub fn normalized_laplacian_sparse(w: &CsrMatrix) -> CsrMatrix {
+    assert_eq!(w.rows(), w.cols(), "normalized_laplacian_sparse: affinity not square");
+    let d = w.row_sums();
+    let inv_sqrt: Vec<f64> = d.iter().map(|&x| if x > 0.0 { 1.0 / x.sqrt() } else { 0.0 }).collect();
+    let scaled = w.scale_symmetric(&inv_sqrt);
+    // I − scaled, as triplets.
+    let n = w.rows();
+    let mut triplets = Vec::with_capacity(scaled.nnz() + n);
+    for i in 0..n {
+        triplets.push((i, i, 1.0));
+        for (&j, &v) in scaled.row_entries(i) {
+            triplets.push((i, j, -v));
+        }
+    }
+    CsrMatrix::from_triplets(n, n, &triplets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umsc_linalg::SymEigen;
+
+    /// Affinity of a 4-cycle with unit weights.
+    fn cycle4() -> Matrix {
+        let mut w = Matrix::zeros(4, 4);
+        for i in 0..4 {
+            let j = (i + 1) % 4;
+            w[(i, j)] = 1.0;
+            w[(j, i)] = 1.0;
+        }
+        w
+    }
+
+    #[test]
+    fn degrees_of_cycle() {
+        assert_eq!(degrees(&cycle4()), vec![2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn unnormalized_row_sums_zero_and_psd() {
+        let l = unnormalized_laplacian(&cycle4());
+        for i in 0..4 {
+            let s: f64 = l.row(i).iter().sum();
+            assert!(s.abs() < 1e-14, "row {i} sums to {s}");
+        }
+        let eig = SymEigen::compute(&l).unwrap();
+        assert!(eig.eigenvalues[0].abs() < 1e-12, "λ_min must be 0");
+        assert!(eig.eigenvalues.iter().all(|&x| x > -1e-12), "PSD violated");
+    }
+
+    #[test]
+    fn normalized_spectrum_in_zero_two() {
+        let l = normalized_laplacian(&cycle4());
+        assert!(l.is_symmetric(1e-15));
+        let eig = SymEigen::compute(&l).unwrap();
+        assert!(eig.eigenvalues[0].abs() < 1e-12);
+        assert!(eig.eigenvalues.iter().all(|&x| (-1e-12..=2.0 + 1e-12).contains(&x)), "{:?}", eig.eigenvalues);
+        // Bipartite cycle: λ_max = 2.
+        assert!((eig.eigenvalues[3] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn normalized_null_vector_is_sqrt_degrees() {
+        // L_sym · D^{1/2}·1 = 0.
+        let mut w = cycle4();
+        w[(0, 1)] = 3.0;
+        w[(1, 0)] = 3.0; // heterogeneous degrees
+        let l = normalized_laplacian(&w);
+        let d = degrees(&w);
+        let v: Vec<f64> = d.iter().map(|x| x.sqrt()).collect();
+        let lv = l.matvec(&v);
+        assert!(lv.iter().all(|&x| x.abs() < 1e-12), "{lv:?}");
+    }
+
+    #[test]
+    fn disconnected_graph_multiplicity_of_zero() {
+        // Two disjoint edges → two zero eigenvalues.
+        let mut w = Matrix::zeros(4, 4);
+        w[(0, 1)] = 1.0;
+        w[(1, 0)] = 1.0;
+        w[(2, 3)] = 1.0;
+        w[(3, 2)] = 1.0;
+        let l = normalized_laplacian(&w);
+        let eig = SymEigen::compute(&l).unwrap();
+        assert!(eig.eigenvalues[0].abs() < 1e-12);
+        assert!(eig.eigenvalues[1].abs() < 1e-12);
+        assert!(eig.eigenvalues[2] > 0.5);
+    }
+
+    #[test]
+    fn isolated_vertex_handled() {
+        let mut w = Matrix::zeros(3, 3);
+        w[(0, 1)] = 1.0;
+        w[(1, 0)] = 1.0; // vertex 2 isolated
+        let l = normalized_laplacian(&w);
+        assert!(l.as_slice().iter().all(|v| v.is_finite()));
+        assert_eq!(l[(2, 2)], 1.0);
+        let lrw = random_walk_laplacian(&w);
+        assert!(lrw.as_slice().iter().all(|v| v.is_finite()));
+        let lu = unnormalized_laplacian(&w);
+        assert_eq!(lu[(2, 2)], 0.0);
+    }
+
+    #[test]
+    fn random_walk_row_sums_zero_on_connected() {
+        let l = random_walk_laplacian(&cycle4());
+        for i in 0..4 {
+            let s: f64 = l.row(i).iter().sum();
+            assert!(s.abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn sparse_matches_dense() {
+        let w = cycle4();
+        let ws = CsrMatrix::from_dense(&w, 0.0);
+        let ls = normalized_laplacian_sparse(&ws);
+        assert!(ls.to_dense().approx_eq(&normalized_laplacian(&w), 1e-14));
+    }
+
+    #[test]
+    fn sparse_laplacian_with_lanczos_finds_fiedler_structure() {
+        // Two 5-cliques joined by one weak edge: Fiedler vector splits them.
+        let n = 10;
+        let mut trip = Vec::new();
+        for blk in 0..2 {
+            for a in 0..5 {
+                for b in 0..5 {
+                    if a != b {
+                        trip.push((blk * 5 + a, blk * 5 + b, 1.0));
+                    }
+                }
+            }
+        }
+        trip.push((4, 5, 0.01));
+        trip.push((5, 4, 0.01));
+        let w = CsrMatrix::from_triplets(n, n, &trip);
+        let l = normalized_laplacian_sparse(&w);
+        let (vals, vecs) = umsc_linalg::lanczos_smallest(&l, 2, &umsc_linalg::LanczosConfig::default()).unwrap();
+        assert!(vals[0].abs() < 1e-9);
+        let fiedler = vecs.col(1);
+        let sign_first = fiedler[0].signum();
+        assert!(fiedler[..5].iter().all(|v| v.signum() == sign_first));
+        assert!(fiedler[5..].iter().all(|v| v.signum() == -sign_first));
+    }
+}

@@ -1,0 +1,39 @@
+//! # umsc-graph
+//!
+//! Similarity-graph construction and graph Laplacians — the substrate every
+//! spectral clustering method in this workspace stands on.
+//!
+//! * [`CsrMatrix`] — compressed sparse row matrix with `spmv`, dense
+//!   bridging, and a [`umsc_linalg::LinearOperator`] impl so Lanczos can run
+//!   on sparse Laplacians directly.
+//! * [`distance`] — pairwise squared-Euclidean / cosine distance matrices.
+//! * [`affinity`] — Gaussian (RBF) affinities with global or self-tuning
+//!   (Zelnik-Manor & Perona) bandwidths, dense or k-NN–sparsified.
+//! * [`can`] — CAN adaptive-neighbor graphs (Nie et al. 2014): closed-form
+//!   simplex-projected neighbor weights, the parameter-light alternative the
+//!   paper family favours.
+//! * [`laplacian`] — unnormalized / symmetric-normalized / random-walk
+//!   Laplacians, dense and sparse.
+//! * [`components`] — connected components (sanity checks; a graph with
+//!   more components than clusters makes the embedding degenerate).
+
+pub mod affinity;
+pub mod anchor;
+pub mod can;
+pub mod components;
+pub mod distance;
+pub mod laplacian;
+pub mod sparse;
+
+pub use affinity::{
+    build_affinity, epsilon_affinity, gaussian_affinity, knn_affinity, AffinityConfig, Bandwidth,
+};
+pub use anchor::{anchor_view_factor, anchor_weights, normalized_factor, select_anchors};
+pub use can::adaptive_neighbor_affinity;
+pub use components::{connected_components, connected_components_sparse, num_components};
+pub use distance::{cosine_distance_matrix, pairwise_sq_distances};
+pub use laplacian::{
+    degrees, normalized_laplacian, normalized_laplacian_sparse, random_walk_laplacian,
+    unnormalized_laplacian,
+};
+pub use sparse::CsrMatrix;

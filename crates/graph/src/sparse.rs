@@ -1,0 +1,405 @@
+//! Compressed sparse row (CSR) matrix.
+//!
+//! Just enough sparse linear algebra for spectral graph work: construction
+//! from triplets or dense, `spmv`, row iteration, transpose, symmetrization,
+//! and diagonal scaling (for normalized Laplacians). Implements
+//! [`LinearOperator`] so the Lanczos solver in `umsc-linalg` runs on sparse
+//! Laplacians without densifying.
+
+use umsc_linalg::{LinearOperator, Matrix};
+
+/// Compressed sparse row matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row pointer array, length `rows + 1`.
+    row_ptr: Vec<usize>,
+    /// Column indices, sorted within each row.
+    col_idx: Vec<usize>,
+    /// Non-zero values aligned with `col_idx`.
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// An all-zero `rows × cols` sparse matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CsrMatrix { rows, cols, row_ptr: vec![0; rows + 1], col_idx: Vec::new(), values: Vec::new() }
+    }
+
+    /// Sparse identity.
+    pub fn identity(n: usize) -> Self {
+        CsrMatrix {
+            rows: n,
+            cols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Builds from `(row, col, value)` triplets; duplicates are summed,
+    /// explicit zeros (after summation) are dropped.
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        for &(r, c, _) in triplets {
+            assert!(r < rows && c < cols, "CsrMatrix::from_triplets: index ({r},{c}) out of bounds for {rows}x{cols}");
+        }
+        let mut sorted: Vec<(usize, usize, f64)> = triplets.to_vec();
+        sorted.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+
+        let mut row_ptr = vec![0usize; rows + 1];
+        let mut col_idx = Vec::with_capacity(sorted.len());
+        let mut values: Vec<f64> = Vec::with_capacity(sorted.len());
+        let mut last: Option<(usize, usize)> = None;
+        for (r, c, v) in sorted {
+            if last == Some((r, c)) {
+                *values.last_mut().expect("value present for duplicate") += v;
+            } else {
+                col_idx.push(c);
+                values.push(v);
+                row_ptr[r + 1] += 1;
+                last = Some((r, c));
+            }
+        }
+        // Drop entries that summed to exactly zero.
+        let mut keep_col = Vec::with_capacity(col_idx.len());
+        let mut keep_val = Vec::with_capacity(values.len());
+        let mut new_counts = vec![0usize; rows];
+        let mut cursor = 0usize;
+        for r in 0..rows {
+            let count = row_ptr[r + 1];
+            for k in 0..count {
+                let idx = cursor + k;
+                if values[idx] != 0.0 {
+                    keep_col.push(col_idx[idx]);
+                    keep_val.push(values[idx]);
+                    new_counts[r] += 1;
+                }
+            }
+            cursor += count;
+        }
+        let mut ptr = vec![0usize; rows + 1];
+        for r in 0..rows {
+            ptr[r + 1] = ptr[r] + new_counts[r];
+        }
+        CsrMatrix { rows, cols, row_ptr: ptr, col_idx: keep_col, values: keep_val }
+    }
+
+    /// Builds from a dense matrix, keeping entries with `|v| > threshold`.
+    pub fn from_dense(m: &Matrix, threshold: f64) -> Self {
+        let mut triplets = Vec::new();
+        for i in 0..m.rows() {
+            for (j, &v) in m.row(i).iter().enumerate() {
+                if v.abs() > threshold {
+                    triplets.push((i, j, v));
+                }
+            }
+        }
+        CsrMatrix::from_triplets(m.rows(), m.cols(), &triplets)
+    }
+
+    /// Densifies (small matrices / tests).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            for (&j, &v) in self.row_entries(i) {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `(column indices, values)` iterator over the stored entries of row `i`.
+    pub fn row_entries(&self, i: usize) -> std::iter::Zip<std::slice::Iter<'_, usize>, std::slice::Iter<'_, f64>> {
+        assert!(i < self.rows, "CsrMatrix::row_entries: row {i} out of bounds");
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        self.col_idx[lo..hi].iter().zip(self.values[lo..hi].iter())
+    }
+
+    /// Entry accessor (O(log nnz_row)).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.rows && j < self.cols, "CsrMatrix::get: index out of bounds");
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        match self.col_idx[lo..hi].binary_search(&j) {
+            Ok(k) => self.values[lo + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Sparse matrix–vector product `y = A·x`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "CsrMatrix::spmv: x length mismatch");
+        assert_eq!(y.len(), self.rows, "CsrMatrix::spmv: y length mismatch");
+        for (i, out) in y.iter_mut().enumerate() {
+            let lo = self.row_ptr[i];
+            let hi = self.row_ptr[i + 1];
+            *out = self.col_idx[lo..hi]
+                .iter()
+                .zip(self.values[lo..hi].iter())
+                .map(|(&j, &v)| v * x[j])
+                .sum();
+        }
+    }
+
+    /// Dense product `A · B` with a dense right factor (`rows × B.cols()`).
+    pub fn matmul_dense(&self, b: &Matrix) -> Matrix {
+        assert_eq!(self.cols, b.rows(), "CsrMatrix::matmul_dense: dimension mismatch");
+        let n = b.cols();
+        let mut out = Matrix::zeros(self.rows, n);
+        for i in 0..self.rows {
+            let lo = self.row_ptr[i];
+            let hi = self.row_ptr[i + 1];
+            let orow = out.row_mut(i);
+            for (&j, &v) in self.col_idx[lo..hi].iter().zip(self.values[lo..hi].iter()) {
+                let brow = b.row(j);
+                for (o, &bb) in orow.iter_mut().zip(brow.iter()) {
+                    *o += v * bb;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut triplets = Vec::with_capacity(self.nnz());
+        for i in 0..self.rows {
+            for (&j, &v) in self.row_entries(i) {
+                triplets.push((j, i, v));
+            }
+        }
+        CsrMatrix::from_triplets(self.cols, self.rows, &triplets)
+    }
+
+    /// Symmetrizes a square matrix as `(A + Aᵀ)/2`.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn symmetrize(&self) -> CsrMatrix {
+        assert_eq!(self.rows, self.cols, "CsrMatrix::symmetrize: matrix not square");
+        let mut triplets = Vec::with_capacity(2 * self.nnz());
+        for i in 0..self.rows {
+            for (&j, &v) in self.row_entries(i) {
+                triplets.push((i, j, 0.5 * v));
+                triplets.push((j, i, 0.5 * v));
+            }
+        }
+        CsrMatrix::from_triplets(self.rows, self.cols, &triplets)
+    }
+
+    /// Symmetrizes with the max rule `max(a_ij, a_ji)` — the usual k-NN
+    /// graph symmetrization (an edge exists if either endpoint chose it).
+    pub fn symmetrize_max(&self) -> CsrMatrix {
+        assert_eq!(self.rows, self.cols, "CsrMatrix::symmetrize_max: matrix not square");
+        use std::collections::HashMap;
+        let mut map: HashMap<(usize, usize), f64> = HashMap::with_capacity(2 * self.nnz());
+        for i in 0..self.rows {
+            for (&j, &v) in self.row_entries(i) {
+                let e = map.entry((i, j)).or_insert(f64::NEG_INFINITY);
+                *e = e.max(v);
+                let e = map.entry((j, i)).or_insert(f64::NEG_INFINITY);
+                *e = e.max(v);
+            }
+        }
+        let triplets: Vec<(usize, usize, f64)> = map.into_iter().map(|((i, j), v)| (i, j, v)).collect();
+        CsrMatrix::from_triplets(self.rows, self.cols, &triplets)
+    }
+
+    /// Returns `diag(s) · A · diag(s)` (two-sided diagonal scaling, the
+    /// normalized-Laplacian workhorse).
+    ///
+    /// # Panics
+    /// Panics if `s.len()` does not match a square matrix dimension.
+    pub fn scale_symmetric(&self, s: &[f64]) -> CsrMatrix {
+        assert_eq!(self.rows, self.cols, "CsrMatrix::scale_symmetric: matrix not square");
+        assert_eq!(s.len(), self.rows, "CsrMatrix::scale_symmetric: scale length mismatch");
+        let mut out = self.clone();
+        for i in 0..self.rows {
+            let lo = out.row_ptr[i];
+            let hi = out.row_ptr[i + 1];
+            for k in lo..hi {
+                out.values[k] *= s[i] * s[out.col_idx[k]];
+            }
+        }
+        out
+    }
+
+    /// Row sums (weighted degrees when the matrix is an affinity).
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.rows)
+            .map(|i| {
+                let lo = self.row_ptr[i];
+                let hi = self.row_ptr[i + 1];
+                self.values[lo..hi].iter().sum()
+            })
+            .collect()
+    }
+}
+
+impl LinearOperator for CsrMatrix {
+    fn dim(&self) -> usize {
+        debug_assert_eq!(self.rows, self.cols);
+        self.rows
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.spmv(x, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> CsrMatrix {
+        // [[1, 0, 2],
+        //  [0, 0, 0],
+        //  [3, 4, 0]]
+        CsrMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)])
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let m = example();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(1, 1), 0.0);
+        assert_eq!(m.get(2, 1), 4.0);
+        let row0: Vec<(usize, f64)> = m.row_entries(0).map(|(&j, &v)| (j, v)).collect();
+        assert_eq!(row0, vec![(0, 1.0), (2, 2.0)]);
+    }
+
+    #[test]
+    fn duplicates_sum_and_zeros_drop() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.0), (1, 1, 3.0), (1, 1, -3.0)]);
+        assert_eq!(m.get(0, 0), 3.0);
+        assert_eq!(m.nnz(), 1, "cancelled entry must be dropped");
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let d = Matrix::from_vec(2, 3, vec![0.0, 1.5, 0.0, -2.0, 0.0, 0.25]);
+        let s = CsrMatrix::from_dense(&d, 0.0);
+        assert_eq!(s.nnz(), 3);
+        assert!(s.to_dense().approx_eq(&d, 0.0));
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let m = example();
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![0.0; 3];
+        m.spmv(&x, &mut y);
+        assert_eq!(y, m.to_dense().matvec(&x));
+    }
+
+    #[test]
+    fn matmul_dense_matches() {
+        let m = example();
+        let b = Matrix::from_fn(3, 2, |i, j| (i + j) as f64);
+        let prod = m.matmul_dense(&b);
+        assert!(prod.approx_eq(&m.to_dense().matmul(&b), 1e-14));
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = example();
+        let t = m.transpose();
+        assert!(t.to_dense().approx_eq(&m.to_dense().transpose(), 0.0));
+        assert!(t.transpose().to_dense().approx_eq(&m.to_dense(), 0.0));
+    }
+
+    #[test]
+    fn symmetrize_average() {
+        let m = example();
+        let s = m.symmetrize();
+        let d = s.to_dense();
+        assert!(d.is_symmetric(0.0));
+        assert_eq!(d[(0, 2)], (2.0 + 3.0) / 2.0);
+    }
+
+    #[test]
+    fn symmetrize_max_rule() {
+        let m = example();
+        let s = m.symmetrize_max();
+        let d = s.to_dense();
+        assert!(d.is_symmetric(0.0));
+        assert_eq!(d[(0, 2)], 3.0);
+        assert_eq!(d[(2, 0)], 3.0);
+        assert_eq!(d[(1, 2)], 4.0, "edge kept even though only one endpoint chose it");
+    }
+
+    #[test]
+    fn scale_symmetric_matches_dense() {
+        let m = example().symmetrize();
+        let s = vec![0.5, 2.0, 1.0];
+        let scaled = m.scale_symmetric(&s);
+        let ds = Matrix::from_diag(&s);
+        let expected = ds.matmul(&m.to_dense()).matmul(&ds);
+        assert!(scaled.to_dense().approx_eq(&expected, 1e-14));
+    }
+
+    #[test]
+    fn row_sums_are_degrees() {
+        let m = example();
+        assert_eq!(m.row_sums(), vec![3.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn linear_operator_for_lanczos() {
+        // Sparse path Laplacian: smallest eigenvalue 0.
+        let n = 12;
+        let mut trip = Vec::new();
+        for i in 0..n {
+            let deg = if i == 0 || i == n - 1 { 1.0 } else { 2.0 };
+            trip.push((i, i, deg));
+            if i + 1 < n {
+                trip.push((i, i + 1, -1.0));
+                trip.push((i + 1, i, -1.0));
+            }
+        }
+        let l = CsrMatrix::from_triplets(n, n, &trip);
+        let (vals, _) = umsc_linalg::lanczos_smallest(&l, 2, &umsc_linalg::LanczosConfig::default()).unwrap();
+        assert!(vals[0].abs() < 1e-8);
+        assert!(vals[1] > 1e-4);
+    }
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = CsrMatrix::zeros(3, 4);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.get(2, 3), 0.0);
+        let i = CsrMatrix::identity(3);
+        let mut y = vec![0.0; 3];
+        i.spmv(&[1.0, 2.0, 3.0], &mut y);
+        assert_eq!(y, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn triplet_bounds_checked() {
+        let _ = CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]);
+    }
+}

@@ -1,0 +1,413 @@
+//! # umsc-kmeans
+//!
+//! Lloyd's K-means with k-means++ seeding, empty-cluster repair and
+//! multi-restart. This is the discretization step of every *two-stage*
+//! spectral clustering baseline — exactly the component whose instability
+//! the paper's one-stage method is designed to remove, so it is implemented
+//! carefully and its restart-to-restart variance is measured in the ablation
+//! bench.
+//!
+//! Determinism: every run is fully determined by [`KMeansConfig::seed`].
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use umsc_linalg::ops::sq_dist;
+use umsc_linalg::Matrix;
+
+/// Configuration for [`kmeans`].
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations per restart.
+    pub max_iter: usize,
+    /// Relative inertia improvement below which a restart stops early.
+    pub tol: f64,
+    /// Number of independent k-means++ restarts; the best (lowest inertia)
+    /// result wins.
+    pub n_init: usize,
+    /// RNG seed (restart `r` uses `seed + r`).
+    pub seed: u64,
+}
+
+impl KMeansConfig {
+    /// Sensible defaults for `k` clusters: 100 iterations, 10 restarts.
+    pub fn new(k: usize) -> Self {
+        KMeansConfig { k, max_iter: 100, tol: 1e-7, n_init: 10, seed: 0 }
+    }
+
+    /// Replaces the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the restart count (builder style).
+    pub fn with_restarts(mut self, n_init: usize) -> Self {
+        self.n_init = n_init.max(1);
+        self
+    }
+}
+
+/// Output of a K-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster id per row of the input.
+    pub labels: Vec<usize>,
+    /// `k × d` centroid matrix.
+    pub centroids: Matrix,
+    /// Sum of squared distances of points to their centroid.
+    pub inertia: f64,
+    /// Lloyd iterations used by the winning restart.
+    pub iterations: usize,
+}
+
+impl KMeansResult {
+    /// Assigns new rows to the nearest learned centroid.
+    ///
+    /// # Panics
+    /// Panics if the feature dimension differs from the centroids'.
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        assert_eq!(
+            x.cols(),
+            self.centroids.cols(),
+            "KMeansResult::predict: {} features, trained with {}",
+            x.cols(),
+            self.centroids.cols()
+        );
+        (0..x.rows())
+            .map(|i| {
+                let row = x.row(i);
+                let mut best = (0usize, f64::INFINITY);
+                for j in 0..self.centroids.rows() {
+                    let d = sq_dist(row, self.centroids.row(j));
+                    if d < best.1 {
+                        best = (j, d);
+                    }
+                }
+                best.0
+            })
+            .collect()
+    }
+}
+
+/// Runs multi-restart K-means on the rows of `x`.
+///
+/// ```
+/// use umsc_kmeans::{kmeans, KMeansConfig};
+/// use umsc_linalg::Matrix;
+///
+/// let x = Matrix::from_rows(&[vec![0.0], vec![0.1], vec![9.0], vec![9.1]]);
+/// let res = kmeans(&x, &KMeansConfig::new(2).with_seed(7));
+/// assert_eq!(res.labels[0], res.labels[1]);
+/// assert_ne!(res.labels[0], res.labels[2]);
+/// assert!(res.inertia < 0.1);
+/// ```
+///
+/// # Panics
+/// Panics if `cfg.k == 0`, `cfg.k > x.rows()`, or `x` has no columns while
+/// having rows.
+pub fn kmeans(x: &Matrix, cfg: &KMeansConfig) -> KMeansResult {
+    let n = x.rows();
+    assert!(cfg.k >= 1, "kmeans: k must be >= 1");
+    assert!(cfg.k <= n, "kmeans: k = {} exceeds n = {n}", cfg.k);
+    let mut best: Option<KMeansResult> = None;
+    for restart in 0..cfg.n_init.max(1) {
+        let result = kmeans_single(x, cfg, cfg.seed.wrapping_add(restart as u64));
+        if best.as_ref().is_none_or(|b| result.inertia < b.inertia) {
+            best = Some(result);
+        }
+    }
+    best.expect("at least one restart ran")
+}
+
+fn kmeans_single(x: &Matrix, cfg: &KMeansConfig, seed: u64) -> KMeansResult {
+    let n = x.rows();
+    let d = x.cols();
+    let k = cfg.k;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut centroids = plus_plus_init(x, k, &mut rng);
+    let mut labels = vec![0usize; n];
+    let mut inertia = f64::INFINITY;
+    let mut iterations = 0;
+
+    for iter in 0..cfg.max_iter.max(1) {
+        iterations = iter + 1;
+        // Assignment step.
+        let mut new_inertia = 0.0;
+        for i in 0..n {
+            let row = x.row(i);
+            let (mut best_j, mut best_d) = (0usize, f64::INFINITY);
+            for j in 0..k {
+                let dist = sq_dist(row, centroids.row(j));
+                if dist < best_d {
+                    best_d = dist;
+                    best_j = j;
+                }
+            }
+            labels[i] = best_j;
+            new_inertia += best_d;
+        }
+
+        // Update step.
+        let mut sums = Matrix::zeros(k, d);
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            counts[labels[i]] += 1;
+            let srow = sums.row_mut(labels[i]);
+            for (s, &v) in srow.iter_mut().zip(x.row(i).iter()) {
+                *s += v;
+            }
+        }
+        for j in 0..k {
+            if counts[j] == 0 {
+                // Empty-cluster repair: steal the point farthest from its
+                // current centroid.
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        let da = sq_dist(x.row(a), centroids.row(labels[a]));
+                        let db = sq_dist(x.row(b), centroids.row(labels[b]));
+                        da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .expect("n >= k >= 1");
+                centroids.row_mut(j).copy_from_slice(x.row(far));
+                labels[far] = j;
+            } else {
+                let inv = 1.0 / counts[j] as f64;
+                let crow = centroids.row_mut(j);
+                for (c, &s) in crow.iter_mut().zip(sums.row(j).iter()) {
+                    *c = s * inv;
+                }
+            }
+        }
+
+        // Convergence: relative inertia improvement.
+        let converged = inertia.is_finite() && (inertia - new_inertia) <= cfg.tol * inertia.max(1e-30);
+        inertia = new_inertia;
+        if converged {
+            break;
+        }
+    }
+
+    // Final assignment pass so labels match the last centroids exactly.
+    let mut final_inertia = 0.0;
+    for i in 0..n {
+        let row = x.row(i);
+        let (mut best_j, mut best_d) = (0usize, f64::INFINITY);
+        for j in 0..k {
+            let dist = sq_dist(row, centroids.row(j));
+            if dist < best_d {
+                best_d = dist;
+                best_j = j;
+            }
+        }
+        labels[i] = best_j;
+        final_inertia += best_d;
+    }
+    KMeansResult { labels, centroids, inertia: final_inertia, iterations }
+}
+
+/// k-means++ seeding: first centroid uniform, each next centroid sampled
+/// with probability proportional to squared distance from the nearest
+/// already-chosen centroid.
+fn plus_plus_init(x: &Matrix, k: usize, rng: &mut StdRng) -> Matrix {
+    let n = x.rows();
+    let d = x.cols();
+    let mut centroids = Matrix::zeros(k, d);
+    let first = rng.random_range(0..n);
+    centroids.row_mut(0).copy_from_slice(x.row(first));
+
+    let mut min_dist: Vec<f64> = (0..n).map(|i| sq_dist(x.row(i), centroids.row(0))).collect();
+    for j in 1..k {
+        let total: f64 = min_dist.iter().sum();
+        let chosen = if total <= 0.0 {
+            // All points coincide with chosen centroids; pick uniformly.
+            rng.random_range(0..n)
+        } else {
+            let mut target = rng.random::<f64>() * total;
+            let mut pick = n - 1;
+            for (i, &w) in min_dist.iter().enumerate() {
+                target -= w;
+                if target <= 0.0 {
+                    pick = i;
+                    break;
+                }
+            }
+            pick
+        };
+        centroids.row_mut(j).copy_from_slice(x.row(chosen));
+        for i in 0..n {
+            let dist = sq_dist(x.row(i), centroids.row(j));
+            if dist < min_dist[i] {
+                min_dist[i] = dist;
+            }
+        }
+    }
+    centroids
+}
+
+/// Computes the K-means inertia of an arbitrary labeling (for tests and
+/// for scoring non-K-means discretizations on the same footing).
+pub fn labeling_inertia(x: &Matrix, labels: &[usize], k: usize) -> f64 {
+    assert_eq!(x.rows(), labels.len(), "labeling_inertia: length mismatch");
+    let d = x.cols();
+    let mut sums = Matrix::zeros(k, d);
+    let mut counts = vec![0usize; k];
+    for (i, &l) in labels.iter().enumerate() {
+        assert!(l < k, "labeling_inertia: label {l} out of range");
+        counts[l] += 1;
+        for (s, &v) in sums.row_mut(l).iter_mut().zip(x.row(i).iter()) {
+            *s += v;
+        }
+    }
+    for j in 0..k {
+        if counts[j] > 0 {
+            let inv = 1.0 / counts[j] as f64;
+            for s in sums.row_mut(j) {
+                *s *= inv;
+            }
+        }
+    }
+    labels.iter().enumerate().map(|(i, &l)| sq_dist(x.row(i), sums.row(l))).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_blobs() -> (Matrix, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut truth = Vec::new();
+        let centers = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)];
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for i in 0..12 {
+                // Deterministic low-amplitude jitter.
+                let a = (i as f64 * 2.39996) % (2.0 * std::f64::consts::PI);
+                let r = 0.3 + 0.2 * ((i * 7 + c) as f64).sin().abs();
+                rows.push(vec![cx + r * a.cos(), cy + r * a.sin()]);
+                truth.push(c);
+            }
+        }
+        (Matrix::from_rows(&rows), truth)
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let (x, truth) = three_blobs();
+        let res = kmeans(&x, &KMeansConfig::new(3).with_seed(1));
+        // Same partition as truth (label names may differ).
+        for i in 0..truth.len() {
+            for j in 0..truth.len() {
+                assert_eq!(res.labels[i] == res.labels[j], truth[i] == truth[j], "pair ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (x, _) = three_blobs();
+        let a = kmeans(&x, &KMeansConfig::new(3).with_seed(7));
+        let b = kmeans(&x, &KMeansConfig::new(3).with_seed(7));
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.inertia, b.inertia);
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let (x, _) = three_blobs();
+        let i2 = kmeans(&x, &KMeansConfig::new(2).with_seed(3)).inertia;
+        let i3 = kmeans(&x, &KMeansConfig::new(3).with_seed(3)).inertia;
+        let i6 = kmeans(&x, &KMeansConfig::new(6).with_seed(3)).inertia;
+        assert!(i3 < i2);
+        assert!(i6 <= i3 + 1e-9);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![5.0]]);
+        let res = kmeans(&x, &KMeansConfig::new(3).with_seed(0));
+        assert!(res.inertia < 1e-20);
+        let mut l = res.labels.clone();
+        l.sort_unstable();
+        assert_eq!(l, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn k_equals_one() {
+        let (x, _) = three_blobs();
+        let res = kmeans(&x, &KMeansConfig::new(1).with_seed(0));
+        assert!(res.labels.iter().all(|&l| l == 0));
+        // Centroid is the mean.
+        let mean_x: f64 = (0..x.rows()).map(|i| x[(i, 0)]).sum::<f64>() / x.rows() as f64;
+        assert!((res.centroids[(0, 0)] - mean_x).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_points_handled() {
+        let x = Matrix::from_rows(&vec![vec![1.0, 2.0]; 8]);
+        let res = kmeans(&x, &KMeansConfig::new(3).with_seed(0));
+        assert!(res.inertia < 1e-20);
+        assert!(res.labels.iter().all(|&l| l < 3));
+    }
+
+    #[test]
+    fn labels_cover_all_clusters_on_separable_data() {
+        let (x, _) = three_blobs();
+        let res = kmeans(&x, &KMeansConfig::new(3).with_seed(11));
+        let mut used: Vec<usize> = res.labels.clone();
+        used.sort_unstable();
+        used.dedup();
+        assert_eq!(used.len(), 3, "a cluster died on trivially separable data");
+    }
+
+    #[test]
+    fn labeling_inertia_matches_result() {
+        let (x, _) = three_blobs();
+        let res = kmeans(&x, &KMeansConfig::new(3).with_seed(2));
+        let recomputed = labeling_inertia(&x, &res.labels, 3);
+        assert!((recomputed - res.inertia).abs() < 1e-9, "{recomputed} vs {}", res.inertia);
+    }
+
+    #[test]
+    fn more_restarts_never_hurt() {
+        let (x, _) = three_blobs();
+        let one = kmeans(&x, &KMeansConfig::new(3).with_seed(5).with_restarts(1)).inertia;
+        let many = kmeans(&x, &KMeansConfig::new(3).with_seed(5).with_restarts(8)).inertia;
+        assert!(many <= one + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds n")]
+    fn k_larger_than_n_panics() {
+        let x = Matrix::from_rows(&[vec![0.0]]);
+        let _ = kmeans(&x, &KMeansConfig::new(2));
+    }
+
+    #[test]
+    fn predict_assigns_nearest_centroid() {
+        let (x, _) = three_blobs();
+        let res = kmeans(&x, &KMeansConfig::new(3).with_seed(1));
+        // Training points map back to their own labels.
+        assert_eq!(res.predict(&x), res.labels);
+        // A fresh point near (10, 0) joins that blob's cluster.
+        let probe = Matrix::from_rows(&[vec![10.2, -0.1]]);
+        let assigned = res.predict(&probe)[0];
+        let near_idx = (0..x.rows())
+            .min_by(|&a, &b| {
+                let da = umsc_linalg::ops::sq_dist(x.row(a), probe.row(0));
+                let db = umsc_linalg::ops::sq_dist(x.row(b), probe.row(0));
+                da.partial_cmp(&db).unwrap()
+            })
+            .unwrap();
+        assert_eq!(assigned, res.labels[near_idx]);
+    }
+
+    #[test]
+    #[should_panic(expected = "features")]
+    fn predict_dimension_checked() {
+        let (x, _) = three_blobs();
+        let res = kmeans(&x, &KMeansConfig::new(2).with_seed(0));
+        let _ = res.predict(&Matrix::zeros(1, 5));
+    }
+}

@@ -1,0 +1,94 @@
+//! Error type shared by every fallible routine in the crate.
+
+use std::fmt;
+
+/// Errors produced by numeric routines.
+///
+/// Dimension mismatches are treated as programming errors and panic at the
+/// call site instead; the variants here are conditions a caller may
+/// legitimately want to recover from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// An iterative routine exceeded its iteration budget.
+    ///
+    /// Carries the routine name and the iteration limit that was hit.
+    NoConvergence {
+        /// Name of the routine that failed to converge.
+        routine: &'static str,
+        /// Iteration limit that was exhausted.
+        max_iter: usize,
+    },
+    /// Cholesky (or another SPD-only routine) found a non-positive pivot.
+    NotPositiveDefinite {
+        /// Index of the offending pivot.
+        pivot: usize,
+        /// Value of the offending pivot.
+        value: f64,
+    },
+    /// LU solve hit an (effectively) zero pivot: the matrix is singular.
+    Singular {
+        /// Index of the offending pivot.
+        pivot: usize,
+    },
+    /// Input matrix was expected to be symmetric but is not.
+    NotSymmetric {
+        /// Largest observed asymmetry `|a_ij - a_ji|`.
+        max_asymmetry: f64,
+    },
+    /// The input is empty or otherwise has an unusable shape for the
+    /// requested decomposition (e.g. asking for more eigenpairs than the
+    /// dimension).
+    InvalidShape(String),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::NoConvergence { routine, max_iter } => {
+                write!(f, "{routine} did not converge within {max_iter} iterations")
+            }
+            LinalgError::NotPositiveDefinite { pivot, value } => {
+                write!(f, "matrix is not positive definite: pivot {pivot} = {value:e}")
+            }
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular: zero pivot at index {pivot}")
+            }
+            LinalgError::NotSymmetric { max_asymmetry } => {
+                write!(f, "matrix is not symmetric: max |a_ij - a_ji| = {max_asymmetry:e}")
+            }
+            LinalgError::InvalidShape(msg) => write!(f, "invalid shape: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_no_convergence() {
+        let e = LinalgError::NoConvergence { routine: "tql2", max_iter: 30 };
+        assert_eq!(e.to_string(), "tql2 did not converge within 30 iterations");
+    }
+
+    #[test]
+    fn display_not_positive_definite() {
+        let e = LinalgError::NotPositiveDefinite { pivot: 2, value: -1.0 };
+        assert!(e.to_string().contains("pivot 2"));
+    }
+
+    #[test]
+    fn display_singular_and_shape() {
+        assert!(LinalgError::Singular { pivot: 0 }.to_string().contains("singular"));
+        assert!(LinalgError::InvalidShape("empty".into()).to_string().contains("empty"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> =
+            Box::new(LinalgError::NotSymmetric { max_asymmetry: 0.5 });
+        assert!(e.to_string().contains("symmetric"));
+    }
+}

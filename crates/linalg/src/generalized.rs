@@ -1,0 +1,181 @@
+//! Generalized symmetric-definite eigenproblem `A·v = λ·B·v`.
+//!
+//! Needed for random-walk spectral embeddings (`L·v = λ·D·v`) and for
+//! whitened consensus problems. Solved by the standard Cholesky reduction:
+//! with `B = L·Lᵀ`, the problem is equivalent to the ordinary symmetric
+//! problem `C·u = λ·u` with `C = L⁻¹·A·L⁻ᵀ` and `v = L⁻ᵀ·u`.
+
+use crate::cholesky::cholesky;
+use crate::eigen::SymEigen;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Solution of `A·v = λ·B·v` for symmetric `A` and SPD `B`.
+#[derive(Debug, Clone)]
+pub struct GeneralizedEigen {
+    /// Eigenvalues in ascending order.
+    pub eigenvalues: Vec<f64>,
+    /// Eigenvectors as columns, `B`-orthonormal: `VᵀBV = I`.
+    pub eigenvectors: Matrix,
+}
+
+/// Computes all eigenpairs of the pencil `(A, B)`.
+///
+/// # Panics
+/// Panics if the matrices are not square or have mismatched dimensions.
+pub fn generalized_eigen(a: &Matrix, b: &Matrix) -> Result<GeneralizedEigen> {
+    assert!(a.is_square() && b.is_square(), "generalized_eigen: matrices must be square");
+    assert_eq!(a.rows(), b.rows(), "generalized_eigen: dimension mismatch");
+    let n = a.rows();
+    if n == 0 {
+        return Ok(GeneralizedEigen { eigenvalues: Vec::new(), eigenvectors: Matrix::zeros(0, 0) });
+    }
+
+    let l = cholesky(b)?;
+    // C = L⁻¹ A L⁻ᵀ: first solve L X = A (column-wise forward subst.),
+    // then L Cᵀ = Xᵀ.
+    let x = forward_solve_matrix(&l, a);
+    let c = forward_solve_matrix(&l, &x.transpose());
+    let mut c = c;
+    c.symmetrize_mut();
+    let eig = SymEigen::compute_unchecked(&c)?;
+
+    // v = L⁻ᵀ u, column by column (back substitution).
+    let mut vectors = Matrix::zeros(n, n);
+    for j in 0..n {
+        let u = eig.eigenvectors.col(j);
+        let v = back_solve_transposed(&l, &u);
+        vectors.set_col(j, &v);
+    }
+    Ok(GeneralizedEigen { eigenvalues: eig.eigenvalues, eigenvectors: vectors })
+}
+
+/// Solves `L · X = R` for lower-triangular `L` (columns independently).
+fn forward_solve_matrix(l: &Matrix, r: &Matrix) -> Matrix {
+    let n = l.rows();
+    let m = r.cols();
+    let mut x = r.clone();
+    for col in 0..m {
+        for i in 0..n {
+            let mut v = x[(i, col)];
+            for k in 0..i {
+                v -= l[(i, k)] * x[(k, col)];
+            }
+            x[(i, col)] = v / l[(i, i)];
+        }
+    }
+    x
+}
+
+/// Solves `Lᵀ · v = u` for lower-triangular `L`.
+fn back_solve_transposed(l: &Matrix, u: &[f64]) -> Vec<f64> {
+    let n = u.len();
+    let mut v = u.to_vec();
+    for i in (0..n).rev() {
+        for k in (i + 1)..n {
+            v[i] -= l[(k, i)] * v[k];
+        }
+        v[i] /= l[(i, i)];
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd(n: usize, shift: f64) -> Matrix {
+        let x = Matrix::from_fn(n + 3, n, |i, j| ((i * 5 + j * 3) as f64).sin());
+        let mut g = x.matmul_transpose_a(&x);
+        for i in 0..n {
+            g[(i, i)] += shift;
+        }
+        g
+    }
+
+    fn check(a: &Matrix, b: &Matrix, tol: f64) -> GeneralizedEigen {
+        let g = generalized_eigen(a, b).unwrap();
+        let n = a.rows();
+        // A V = B V Λ.
+        let av = a.matmul(&g.eigenvectors);
+        let bv = b.matmul(&g.eigenvectors);
+        for j in 0..n {
+            for i in 0..n {
+                let lhs = av[(i, j)];
+                let rhs = g.eigenvalues[j] * bv[(i, j)];
+                assert!((lhs - rhs).abs() < tol * (1.0 + lhs.abs().max(rhs.abs())), "({i},{j}): {lhs} vs {rhs}");
+            }
+        }
+        // B-orthonormality.
+        let vbv = g.eigenvectors.matmul_transpose_a(&b.matmul(&g.eigenvectors));
+        assert!(vbv.approx_eq(&Matrix::identity(n), tol), "VᵀBV != I");
+        // Ascending.
+        for w in g.eigenvalues.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+        g
+    }
+
+    #[test]
+    fn identity_b_reduces_to_ordinary() {
+        let mut a = Matrix::from_fn(5, 5, |i, j| ((i + 2 * j) as f64).cos());
+        a.symmetrize_mut();
+        let g = check(&a, &Matrix::identity(5), 1e-8);
+        let ord = SymEigen::compute(&a).unwrap();
+        for (x, y) in g.eigenvalues.iter().zip(ord.eigenvalues.iter()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn diagonal_pencil_known_values() {
+        // A = diag(2, 12), B = diag(1, 4) → λ = {2, 3}.
+        let a = Matrix::from_diag(&[2.0, 12.0]);
+        let b = Matrix::from_diag(&[1.0, 4.0]);
+        let g = check(&a, &b, 1e-10);
+        assert!((g.eigenvalues[0] - 2.0).abs() < 1e-10);
+        assert!((g.eigenvalues[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn random_like_pencils() {
+        for n in [2usize, 4, 7] {
+            let mut a = Matrix::from_fn(n, n, |i, j| ((i * 3 + j * 7) as f64).sin());
+            a.symmetrize_mut();
+            let b = spd(n, 2.0);
+            check(&a, &b, 1e-7);
+        }
+    }
+
+    #[test]
+    fn random_walk_laplacian_pencil() {
+        // L v = λ D v where L = D − W: eigenvalues in [0, 2], smallest 0.
+        let mut w = Matrix::zeros(4, 4);
+        for i in 0..4usize {
+            let j = (i + 1) % 4;
+            w[(i, j)] = 1.0 + 0.2 * i as f64;
+            w[(j, i)] = w[(i, j)];
+        }
+        let d: Vec<f64> = (0..4).map(|i| w.row(i).iter().sum()).collect();
+        let mut l = -&w;
+        for i in 0..4 {
+            l[(i, i)] += d[i];
+        }
+        let g = check(&l, &Matrix::from_diag(&d), 1e-9);
+        assert!(g.eigenvalues[0].abs() < 1e-9);
+        assert!(*g.eigenvalues.last().unwrap() <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn non_spd_b_rejected() {
+        let a = Matrix::identity(2);
+        let b = Matrix::from_diag(&[1.0, -1.0]);
+        assert!(generalized_eigen(&a, &b).is_err());
+    }
+
+    #[test]
+    fn empty() {
+        let g = generalized_eigen(&Matrix::zeros(0, 0), &Matrix::zeros(0, 0)).unwrap();
+        assert!(g.eigenvalues.is_empty());
+    }
+}

@@ -1,0 +1,318 @@
+//! Lanczos iteration for the smallest eigenpairs of a large symmetric
+//! operator.
+//!
+//! Dense eigendecomposition is O(n³); spectral clustering only needs the
+//! `c` smallest eigenvectors of a (sparse) graph Laplacian. [`lanczos_smallest`]
+//! builds a Krylov basis with **full reorthogonalization** (robust, simple,
+//! O(n·m²) for subspace size `m`) against any [`LinearOperator`], solves the
+//! small tridiagonal eigenproblem with the same QL sweep as the dense path,
+//! and expands the subspace until the wanted Ritz pairs converge. When the
+//! subspace reaches `n` the method is exact, so it cannot fail to converge —
+//! it can only get slow — which keeps the API total.
+//!
+//! Breakdown (an invariant subspace, e.g. a disconnected graph) is handled
+//! by restarting with a fresh vector orthogonal to the basis so far.
+
+use crate::eigen::tql2;
+use crate::matrix::Matrix;
+use crate::ops::{axpy, dot, normalize};
+use crate::Result;
+
+/// Matrix-free symmetric linear operator `y = A·x`.
+pub trait LinearOperator {
+    /// Dimension `n` of the (square) operator.
+    fn dim(&self) -> usize;
+    /// Computes `y = A·x`. `y` is zero-initialized by the caller.
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+}
+
+impl LinearOperator for Matrix {
+    fn dim(&self) -> usize {
+        debug_assert!(self.is_square());
+        self.rows()
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        y.copy_from_slice(&self.matvec(x));
+    }
+}
+
+/// Tuning knobs for [`lanczos_smallest`].
+#[derive(Debug, Clone)]
+pub struct LanczosConfig {
+    /// Convergence tolerance on the Ritz residual estimate
+    /// `|β_m · s_{m,i}|` relative to the spectral scale.
+    pub tol: f64,
+    /// Subspace size at which convergence is first checked; grows from
+    /// there. Clamped to `[k+2, n]` internally.
+    pub initial_subspace: usize,
+    /// Seed for the deterministic start vector.
+    pub seed: u64,
+}
+
+impl Default for LanczosConfig {
+    fn default() -> Self {
+        LanczosConfig { tol: 1e-8, initial_subspace: 30, seed: 0x5eed }
+    }
+}
+
+/// Computes the `k` smallest eigenpairs of symmetric `op`.
+///
+/// Returns `(eigenvalues ascending, eigenvectors as columns)`.
+///
+/// # Panics
+/// Panics if `k > n` or `k == 0`.
+pub fn lanczos_smallest(op: &dyn LinearOperator, k: usize, cfg: &LanczosConfig) -> Result<(Vec<f64>, Matrix)> {
+    let n = op.dim();
+    assert!(k >= 1, "lanczos_smallest: k must be >= 1");
+    assert!(k <= n, "lanczos_smallest: requested {k} eigenpairs of a {n}-dim operator");
+
+    let mut rng = SplitMix64::new(cfg.seed);
+    // Krylov basis vectors (rows, for contiguity) and tridiagonal entries.
+    let mut basis: Vec<Vec<f64>> = Vec::new();
+    let mut alpha: Vec<f64> = Vec::new();
+    let mut beta: Vec<f64> = Vec::new(); // beta[j] couples basis[j] and basis[j+1]
+
+    basis.push(random_unit(n, &mut rng));
+
+    let mut check_at = cfg.initial_subspace.max(k + 2).min(n.max(1));
+    let mut work = vec![0.0; n];
+
+    loop {
+        // One Lanczos expansion step.
+        let j = basis.len() - 1;
+        work.iter_mut().for_each(|v| *v = 0.0);
+        op.apply(&basis[j], &mut work);
+        let a_j = dot(&basis[j], &work);
+        alpha.push(a_j);
+        // w ← A q_j − α_j q_j − β_{j-1} q_{j-1}, then full reorthogonalization.
+        axpy(-a_j, &basis[j], &mut work);
+        if j > 0 {
+            axpy(-beta[j - 1], &basis[j - 1], &mut work);
+        }
+        for b in &basis {
+            let c = dot(b, &work);
+            axpy(-c, b, &mut work);
+        }
+        let b_j = normalize(&mut work);
+
+        let m = basis.len();
+        let done_expanding = m == n;
+        if !done_expanding {
+            if b_j <= 1e-12 {
+                // Breakdown: invariant subspace captured. Restart direction.
+                let mut fresh = random_unit(n, &mut rng);
+                for b in &basis {
+                    let c = dot(b, &fresh);
+                    axpy(-c, b, &mut fresh);
+                }
+                if normalize(&mut fresh) <= 1e-12 {
+                    // Basis already spans R^n numerically; solve exactly.
+                    let pairs = ritz_pairs(&basis[..alpha.len()], &alpha, &beta, k, None)?;
+                    return Ok(pairs.expect("tol=None always yields pairs"));
+                }
+                beta.push(0.0);
+                basis.push(fresh);
+            } else {
+                beta.push(b_j);
+                basis.push(work.clone());
+            }
+        }
+
+        let m = basis.len();
+        if done_expanding {
+            let pairs = ritz_pairs(&basis[..alpha.len()], &alpha, &beta, k, None)?;
+            return Ok(pairs.expect("tol=None always yields pairs"));
+        }
+        if m >= check_at {
+            // Convergence probe on the completed alpha.len()-step
+            // factorization (the freshly pushed vector is not yet processed).
+            if let Some(result) = ritz_pairs(&basis[..alpha.len()], &alpha, &beta, k, Some(cfg.tol))? {
+                return Ok(result);
+            }
+            check_at = (check_at + check_at / 2 + 1).min(n);
+        }
+    }
+}
+
+/// Solves the projected tridiagonal problem and maps Ritz vectors back.
+///
+/// With `tol = Some(t)`, returns `Ok(None)` when the k-th residual estimate
+/// exceeds `t` (not yet converged); with `tol = None` always returns pairs.
+#[allow(clippy::type_complexity)]
+fn ritz_pairs(
+    basis: &[Vec<f64>],
+    alpha: &[f64],
+    beta: &[f64],
+    k: usize,
+    tol: Option<f64>,
+) -> Result<Option<(Vec<f64>, Matrix)>> {
+    let m = alpha.len();
+    debug_assert!(basis.len() >= m);
+    let mut d = alpha.to_vec();
+    // tql2 expects e[1..] as the sub-diagonal.
+    let mut e = vec![0.0; m];
+    for i in 1..m {
+        e[i] = beta[i - 1];
+    }
+    let mut z = Matrix::identity(m);
+    tql2(&mut d, &mut e, &mut z)?;
+
+    // Sort ascending.
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| d[a].partial_cmp(&d[b]).unwrap_or(std::cmp::Ordering::Equal));
+
+    let scale = d.iter().fold(0.0f64, |a, &b| a.max(b.abs())).max(1.0);
+    if let Some(t) = tol {
+        // Residual estimate for Ritz pair i: |β_m · z[m-1, i]|.
+        let beta_last = beta.get(m - 1).copied().unwrap_or(0.0);
+        let worst = order
+            .iter()
+            .take(k)
+            .map(|&i| (beta_last * z[(m - 1, i)]).abs())
+            .fold(0.0f64, f64::max);
+        if worst > t * scale {
+            return Ok(None);
+        }
+    }
+
+    let n = basis[0].len();
+    let mut values = Vec::with_capacity(k);
+    let mut vectors = Matrix::zeros(n, k);
+    for (col, &i) in order.iter().take(k).enumerate() {
+        values.push(d[i]);
+        let mut v = vec![0.0; n];
+        for (j, b) in basis.iter().take(m).enumerate() {
+            axpy(z[(j, i)], b, &mut v);
+        }
+        normalize(&mut v);
+        vectors.set_col(col, &v);
+    }
+    Ok(Some((values, vectors)))
+}
+
+fn random_unit(n: usize, rng: &mut SplitMix64) -> Vec<f64> {
+    let mut v: Vec<f64> = (0..n).map(|_| rng.next_f64() - 0.5).collect();
+    if normalize(&mut v) == 0.0 && n > 0 {
+        v[0] = 1.0;
+    }
+    v
+}
+
+/// Tiny deterministic RNG (SplitMix64) so this crate stays dependency-free.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64(seed.wrapping_add(0x9E3779B97F4A7C15))
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eigen::SymEigen;
+
+    fn sym(n: usize, f: impl Fn(usize, usize) -> f64) -> Matrix {
+        let mut m = Matrix::from_fn(n, n, |i, j| f(i.min(j), i.max(j)));
+        m.symmetrize_mut();
+        m
+    }
+
+    #[test]
+    fn matches_dense_solver_small() {
+        let a = sym(12, |i, j| ((i * 3 + j) as f64).sin() + if i == j { 4.0 } else { 0.0 });
+        let (vals, vecs) = lanczos_smallest(&a, 3, &LanczosConfig::default()).unwrap();
+        let dense = SymEigen::compute(&a).unwrap();
+        for i in 0..3 {
+            assert!((vals[i] - dense.eigenvalues[i]).abs() < 1e-7, "{} vs {}", vals[i], dense.eigenvalues[i]);
+        }
+        // Residual check: ‖A v − λ v‖ small.
+        for i in 0..3 {
+            let v = vecs.col(i);
+            let av = a.matvec(&v);
+            let res: f64 = av.iter().zip(v.iter()).map(|(x, y)| (x - vals[i] * y).powi(2)).sum::<f64>().sqrt();
+            assert!(res < 1e-6, "residual {res}");
+        }
+    }
+
+    #[test]
+    fn diagonal_operator() {
+        let diag: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let a = Matrix::from_diag(&diag);
+        let (vals, _) = lanczos_smallest(&a, 4, &LanczosConfig::default()).unwrap();
+        for (i, &v) in vals.iter().enumerate() {
+            assert!((v - i as f64).abs() < 1e-6, "eigenvalue {i}: {v}");
+        }
+    }
+
+    #[test]
+    fn larger_than_initial_subspace() {
+        let n = 80;
+        let a = sym(n, |i, j| if i == j { (i % 7) as f64 + 1.0 } else if j == i + 1 { 0.5 } else { 0.0 });
+        let (vals, vecs) = lanczos_smallest(&a, 5, &LanczosConfig { initial_subspace: 12, ..Default::default() }).unwrap();
+        let dense = SymEigen::compute(&a).unwrap();
+        for i in 0..5 {
+            assert!((vals[i] - dense.eigenvalues[i]).abs() < 1e-6);
+        }
+        let vtv = vecs.matmul_transpose_a(&vecs);
+        assert!(vtv.approx_eq(&Matrix::identity(5), 1e-6));
+    }
+
+    #[test]
+    fn disconnected_block_diagonal_breakdown_path() {
+        // Two disconnected path-graph Laplacians → repeated zero eigenvalue,
+        // Krylov breakdown from a vector inside one block's span is possible.
+        let n = 16;
+        let mut a = Matrix::zeros(n, n);
+        for blk in 0..2 {
+            let off = blk * 8;
+            for i in 0..8 {
+                let deg = if i == 0 || i == 7 { 1.0 } else { 2.0 };
+                a[(off + i, off + i)] = deg;
+                if i > 0 {
+                    a[(off + i, off + i - 1)] = -1.0;
+                    a[(off + i - 1, off + i)] = -1.0;
+                }
+            }
+        }
+        let (vals, _) = lanczos_smallest(&a, 2, &LanczosConfig::default()).unwrap();
+        assert!(vals[0].abs() < 1e-7);
+        assert!(vals[1].abs() < 1e-7, "second zero eigenvalue missed: {vals:?}");
+    }
+
+    #[test]
+    fn k_equals_n_exact() {
+        let a = Matrix::from_diag(&[3.0, 1.0, 2.0]);
+        let (vals, vecs) = lanczos_smallest(&a, 3, &LanczosConfig::default()).unwrap();
+        assert!((vals[0] - 1.0).abs() < 1e-9);
+        assert!((vals[2] - 3.0).abs() < 1e-9);
+        assert!(vecs.matmul_transpose_a(&vecs).approx_eq(&Matrix::identity(3), 1e-8));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be >= 1")]
+    fn zero_k_panics() {
+        let a = Matrix::identity(3);
+        let _ = lanczos_smallest(&a, 0, &LanczosConfig::default());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = sym(20, |i, j| ((i + j) as f64).cos() + if i == j { 3.0 } else { 0.0 });
+        let cfg = LanczosConfig { seed: 42, ..Default::default() };
+        let (v1, m1) = lanczos_smallest(&a, 2, &cfg).unwrap();
+        let (v2, m2) = lanczos_smallest(&a, 2, &cfg).unwrap();
+        assert_eq!(v1, v2);
+        assert!(m1.approx_eq(&m2, 0.0));
+    }
+}

@@ -1,0 +1,58 @@
+//! # umsc-linalg
+//!
+//! Self-contained dense (and operator-based iterative) linear algebra for the
+//! `umsc` multi-view spectral clustering workspace.
+//!
+//! The Rust eigensolver ecosystem is thin, and the paper's pipeline is built
+//! almost entirely out of symmetric eigenproblems (spectral embeddings),
+//! small SVDs (spectral rotation / Procrustes) and orthogonalizations, so
+//! this crate implements the whole substrate from scratch:
+//!
+//! * [`Matrix`] — dense row-major `f64` matrix with the usual arithmetic.
+//! * [`SymEigen`] — full symmetric eigendecomposition via Householder
+//!   tridiagonalization + implicit-shift QL (EISPACK `tred2`/`tql2` lineage).
+//! * [`jacobi_eigen`] — cyclic Jacobi eigensolver, used as an independent
+//!   cross-check in tests and as a robust fallback for small matrices.
+//! * [`Svd`] — singular value decomposition via one-sided Jacobi (Hestenes).
+//! * [`qr()`](qr()) — Householder QR.
+//! * [`cholesky()`](cholesky()), [`lu`] — factorizations and linear solves.
+//! * [`procrustes()`](procrustes()) — orthogonal Procrustes and polar orthogonalization,
+//!   the workhorses of spectral rotation.
+//! * [`lanczos`] — partial symmetric eigensolver for large sparse operators
+//!   (used by the graph crate through the [`LinearOperator`] trait).
+//!
+//! Conventions: matrices are row-major; eigenvalues/singular values are
+//! returned in ascending/descending order as documented per routine;
+//! dimension mismatches panic with a descriptive message (programming
+//! errors), while algorithmic failures (non-convergence, non-PSD input)
+//! return [`LinalgError`].
+
+pub mod cholesky;
+pub mod eigen;
+pub mod error;
+pub mod generalized;
+pub mod jacobi;
+pub mod lanczos;
+pub mod lu;
+pub mod matrix;
+pub mod ops;
+pub mod procrustes;
+pub mod qr;
+pub mod svd;
+pub mod tridiag;
+
+pub use cholesky::{cholesky, cholesky_solve, inverse_sqrt_psd};
+pub use eigen::SymEigen;
+pub use generalized::{generalized_eigen, GeneralizedEigen};
+pub use error::LinalgError;
+pub use jacobi::jacobi_eigen;
+pub use lanczos::{lanczos_smallest, LanczosConfig, LinearOperator};
+pub use lu::{lu_solve, Lu};
+pub use matrix::Matrix;
+pub use procrustes::{polar_orthogonalize, procrustes};
+pub use qr::{qr, QrDecomposition};
+pub use svd::Svd;
+pub use tridiag::Tridiagonal;
+
+/// Result alias for fallible linear-algebra routines.
+pub type Result<T> = std::result::Result<T, LinalgError>;

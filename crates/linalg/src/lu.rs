@@ -1,0 +1,168 @@
+//! LU factorization with partial pivoting and general linear solves.
+//!
+//! Used where SPD structure is not guaranteed (e.g. solving small normal
+//! equations in baseline methods) and as an independent determinant /
+//! singularity probe in tests.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// LU factorization `P·A = L·U` with partial pivoting, stored compactly.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined `L` (strict lower, unit diagonal implied) and `U` (upper).
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (±1), for determinants.
+    sign: f64,
+}
+
+impl Lu {
+    /// Factorizes square `a`.
+    ///
+    /// Returns [`LinalgError::Singular`] when a pivot column is entirely
+    /// (numerically) zero.
+    ///
+    /// # Panics
+    /// Panics if `a` is not square.
+    pub fn compute(a: &Matrix) -> Result<Lu> {
+        assert!(a.is_square(), "Lu::compute: matrix is {}x{}, not square", a.rows(), a.cols());
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        let scale = a.max_abs().max(f64::MIN_POSITIVE);
+
+        for k in 0..n {
+            // Pick the largest pivot in column k at or below the diagonal.
+            let mut p = k;
+            let mut max = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > max {
+                    max = v;
+                    p = i;
+                }
+            }
+            if max <= f64::EPSILON * scale * n as f64 {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let upd = factor * lu[(k, j)];
+                    lu[(i, j)] -= upd;
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Panics
+    /// Panics if `b.len()` does not match the matrix dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.lu.rows();
+        assert_eq!(b.len(), n, "Lu::solve: dimension mismatch");
+        // Apply permutation, then forward/back substitution.
+        let mut x: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
+        for i in 0..n {
+            for k in 0..i {
+                x[i] -= self.lu[(i, k)] * x[k];
+            }
+        }
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                x[i] -= self.lu[(i, k)] * x[k];
+            }
+            x[i] /= self.lu[(i, i)];
+        }
+        x
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        let n = self.lu.rows();
+        (0..n).fold(self.sign, |acc, i| acc * self.lu[(i, i)])
+    }
+}
+
+/// One-shot convenience: factorize and solve `A x = b`.
+pub fn lu_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Ok(Lu::compute(a)?.solve(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_known_system() {
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 3.0]);
+        let x = lu_solve(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let x = lu_solve(&a, &[3.0, 7.0]).unwrap();
+        assert_eq!(x, vec![7.0, 3.0]);
+    }
+
+    #[test]
+    fn roundtrip_random_like() {
+        for n in [1usize, 3, 6, 10] {
+            let a = Matrix::from_fn(n, n, |i, j| ((i * 7 + j * 13) as f64).sin() + if i == j { 3.0 } else { 0.0 });
+            let x_true: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+            let b = a.matvec(&x_true);
+            let x = lu_solve(&a, &b).unwrap();
+            for (u, v) in x.iter().zip(x_true.iter()) {
+                assert!((u - v).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert!(matches!(Lu::compute(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn determinant() {
+        let a = Matrix::from_vec(2, 2, vec![3.0, 1.0, 4.0, 2.0]);
+        assert!((Lu::compute(&a).unwrap().det() - 2.0).abs() < 1e-12);
+        // Permutation sign: swapping rows flips determinant.
+        let b = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        assert!((Lu::compute(&b).unwrap().det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn det_matches_eigenvalue_product_for_symmetric() {
+        let mut a = Matrix::from_fn(4, 4, |i, j| ((i + j) as f64).cos());
+        a.symmetrize_mut();
+        for i in 0..4 {
+            a[(i, i)] += 2.0;
+        }
+        let det = Lu::compute(&a).unwrap().det();
+        let eig = crate::eigen::SymEigen::compute(&a).unwrap();
+        let prod: f64 = eig.eigenvalues.iter().product();
+        assert!((det - prod).abs() < 1e-8 * (1.0 + det.abs()));
+    }
+}

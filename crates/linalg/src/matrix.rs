@@ -1,0 +1,757 @@
+//! Dense row-major `f64` matrix.
+//!
+//! [`Matrix`] is the single dense container used across the workspace. It is
+//! deliberately simple: a `Vec<f64>` plus a shape, with the operations the
+//! spectral-clustering pipeline actually needs (GEMM in the three transpose
+//! flavours, transposition, column slicing, norms, Gershgorin bounds).
+//!
+//! Hot loops follow the `i-k-j` ordering so the innermost loop streams over
+//! contiguous rows of both operands (see the Rust Performance Book's advice
+//! on iteration order and bounds-check elimination via slices).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// Dense row-major matrix of `f64`.
+///
+/// ```
+/// use umsc_linalg::Matrix;
+///
+/// let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+/// let b = Matrix::identity(2);
+/// let c = a.matmul(&b);
+/// assert!(c.approx_eq(&a, 0.0));
+/// assert_eq!(a.trace(), 5.0);
+/// assert_eq!(a.transpose()[(0, 1)], 3.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows × cols` matrix with every entry set to `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Matrix::from_vec: data length {} does not match shape {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from nested row slices.
+    ///
+    /// # Panics
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        if rows.is_empty() {
+            return Matrix::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), cols, "Matrix::from_rows: row {i} has length {} != {cols}", r.len());
+            data.extend_from_slice(r);
+        }
+        Matrix { rows: rows.len(), cols, data }
+    }
+
+    /// Creates a matrix by evaluating `f(i, j)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a square diagonal matrix from `diag`.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m.data[i * n + i] = d;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// True when the matrix has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// True when `rows == cols`.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow the underlying row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume the matrix, returning its row-major data.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Entry accessor (bounds-checked).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.rows && j < self.cols, "Matrix::get: index ({i},{j}) out of bounds for {}x{}", self.rows, self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Entry setter (bounds-checked).
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.rows && j < self.cols, "Matrix::set: index ({i},{j}) out of bounds for {}x{}", self.rows, self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Row `i` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "Matrix::row: row {i} out of bounds for {} rows", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Row `i` as a mutable contiguous slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "Matrix::row_mut: row {i} out of bounds for {} rows", self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Column `j`, copied into a fresh vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "Matrix::col: column {j} out of bounds for {} cols", self.cols);
+        (0..self.rows).map(|i| self.data[i * self.cols + j]).collect()
+    }
+
+    /// Overwrite column `j` with `values`.
+    ///
+    /// # Panics
+    /// Panics if `values.len() != rows`.
+    pub fn set_col(&mut self, j: usize, values: &[f64]) {
+        assert_eq!(values.len(), self.rows, "Matrix::set_col: length mismatch");
+        for (i, &v) in values.iter().enumerate() {
+            self.data[i * self.cols + j] = v;
+        }
+    }
+
+    /// Iterator over rows as slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Copies columns `lo..hi` into a new `rows × (hi-lo)` matrix.
+    pub fn columns(&self, lo: usize, hi: usize) -> Matrix {
+        assert!(lo <= hi && hi <= self.cols, "Matrix::columns: range {lo}..{hi} out of bounds for {} cols", self.cols);
+        let w = hi - lo;
+        let mut out = Matrix::zeros(self.rows, w);
+        for i in 0..self.rows {
+            out.data[i * w..(i + 1) * w].copy_from_slice(&self.data[i * self.cols + lo..i * self.cols + hi]);
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            let r = self.row(i);
+            for (j, &v) in r.iter().enumerate() {
+                out.data[j * self.rows + i] = v;
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions do not match.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "Matrix::matmul: inner dimension mismatch ({}x{} · {}x{})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let arow = &self.data[i * k..(i + 1) * k];
+            let orow = &mut out.data[i * n..(i + 1) * n];
+            for (p, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &other.data[p * n..(p + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `selfᵀ · other` without forming the transpose.
+    pub fn matmul_transpose_a(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "Matrix::matmul_transpose_a: row mismatch ({}x{} vs {}x{})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.cols, self.rows, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        for p in 0..k {
+            let arow = &self.data[p * m..(p + 1) * m];
+            let brow = &other.data[p * n..(p + 1) * n];
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self · otherᵀ` without forming the transpose.
+    pub fn matmul_transpose_b(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "Matrix::matmul_transpose_b: column mismatch ({}x{} vs {}x{})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let arow = &self.data[i * k..(i + 1) * k];
+            let orow = &mut out.data[i * n..(i + 1) * n];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &other.data[j * k..(j + 1) * k];
+                *o = dot(arow, brow);
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self · x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, x.len(), "Matrix::matvec: dimension mismatch");
+        self.rows_iter().map(|r| dot(r, x)).collect()
+    }
+
+    /// `selfᵀ · x` without forming the transpose.
+    pub fn matvec_transpose(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(self.rows, x.len(), "Matrix::matvec_transpose: dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for (i, r) in self.rows_iter().enumerate() {
+            let xi = x[i];
+            if xi == 0.0 {
+                continue;
+            }
+            for (o, &v) in out.iter_mut().zip(r.iter()) {
+                *o += xi * v;
+            }
+        }
+        out
+    }
+
+    /// In-place scaling by `s`.
+    pub fn scale_mut(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Scaled copy `s · self`.
+    pub fn scale(&self, s: f64) -> Matrix {
+        let mut out = self.clone();
+        out.scale_mut(s);
+        out
+    }
+
+    /// `self += s · other` (AXPY on the whole matrix).
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn axpy(&mut self, s: f64, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "Matrix::axpy: shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += s * b;
+        }
+    }
+
+    /// Applies `f` to every entry, in place.
+    pub fn map_mut(&mut self, mut f: impl FnMut(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Returns a copy with `f` applied to every entry.
+    pub fn map(&self, f: impl FnMut(f64) -> f64) -> Matrix {
+        let mut out = self.clone();
+        out.map_mut(f);
+        out
+    }
+
+    /// Sum of diagonal entries.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> f64 {
+        assert!(self.is_square(), "Matrix::trace: matrix is {}x{}, not square", self.rows, self.cols);
+        (0..self.rows).map(|i| self.data[i * self.cols + i]).sum()
+    }
+
+    /// Frobenius norm `sqrt(Σ a_ij²)`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Largest absolute entry (0 for an empty matrix).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+    }
+
+    /// Largest asymmetry `max |a_ij − a_ji|` (0 for non-square or empty).
+    pub fn max_asymmetry(&self) -> f64 {
+        if !self.is_square() {
+            return f64::INFINITY;
+        }
+        let mut m = 0.0f64;
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                m = m.max((self.data[i * self.cols + j] - self.data[j * self.cols + i]).abs());
+            }
+        }
+        m
+    }
+
+    /// True when the matrix is symmetric to within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        self.is_square() && self.max_asymmetry() <= tol
+    }
+
+    /// Replaces the matrix with `(A + Aᵀ)/2`.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn symmetrize_mut(&mut self) {
+        assert!(self.is_square(), "Matrix::symmetrize_mut: matrix is not square");
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                let a = self.data[i * self.cols + j];
+                let b = self.data[j * self.cols + i];
+                let m = 0.5 * (a + b);
+                self.data[i * self.cols + j] = m;
+                self.data[j * self.cols + i] = m;
+            }
+        }
+    }
+
+    /// True when every entry of `self` is within `tol` of `other`.
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Gershgorin upper bound on the largest eigenvalue of a symmetric
+    /// matrix: `max_i (a_ii + Σ_{j≠i} |a_ij|)`.
+    ///
+    /// Used by the GPI Stiefel solver to pick a safe shift `η ≥ λ_max`.
+    pub fn gershgorin_upper_bound(&self) -> f64 {
+        assert!(self.is_square(), "gershgorin_upper_bound: matrix is not square");
+        let mut bound = f64::NEG_INFINITY;
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let radius: f64 = row
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, v)| v.abs())
+                .sum();
+            bound = bound.max(row[i] + radius);
+        }
+        if bound.is_finite() {
+            bound
+        } else {
+            0.0
+        }
+    }
+
+    /// Horizontal concatenation `[self | other]`.
+    ///
+    /// # Panics
+    /// Panics if the row counts differ.
+    pub fn hstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "Matrix::hstack: row count mismatch");
+        let cols = self.cols + other.cols;
+        let mut out = Matrix::zeros(self.rows, cols);
+        for i in 0..self.rows {
+            out.data[i * cols..i * cols + self.cols].copy_from_slice(self.row(i));
+            out.data[i * cols + self.cols..(i + 1) * cols].copy_from_slice(other.row(i));
+        }
+        out
+    }
+
+    /// Vertical concatenation `[self ; other]`.
+    ///
+    /// # Panics
+    /// Panics if the column counts differ.
+    pub fn vstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "Matrix::vstack: column count mismatch");
+        let mut data = Vec::with_capacity(self.data.len() + other.data.len());
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Matrix { rows: self.rows + other.rows, cols: self.cols, data }
+    }
+}
+
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(i < self.rows && j < self.cols, "Matrix index ({i},{j}) out of bounds for {}x{}", self.rows, self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(i < self.rows && j < self.cols, "Matrix index ({i},{j}) out of bounds for {}x{}", self.rows, self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add<&Matrix> for &Matrix {
+    type Output = Matrix;
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "Matrix add: shape mismatch");
+        let mut out = self.clone();
+        out.axpy(1.0, rhs);
+        out
+    }
+}
+
+impl Sub<&Matrix> for &Matrix {
+    type Output = Matrix;
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "Matrix sub: shape mismatch");
+        let mut out = self.clone();
+        out.axpy(-1.0, rhs);
+        out
+    }
+}
+
+impl AddAssign<&Matrix> for Matrix {
+    fn add_assign(&mut self, rhs: &Matrix) {
+        self.axpy(1.0, rhs);
+    }
+}
+
+impl SubAssign<&Matrix> for Matrix {
+    fn sub_assign(&mut self, rhs: &Matrix) {
+        self.axpy(-1.0, rhs);
+    }
+}
+
+impl Mul<&Matrix> for &Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        self.matmul(rhs)
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: f64) -> Matrix {
+        self.scale(rhs)
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+    fn neg(self) -> Matrix {
+        self.scale(-1.0)
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_rows = 8usize;
+        for (i, row) in self.rows_iter().take(max_rows).enumerate() {
+            write!(f, "  row {i}: [")?;
+            for (j, v) in row.iter().take(8).enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v:.4}")?;
+            }
+            if row.len() > 8 {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a23() -> Matrix {
+        Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+    }
+
+    #[test]
+    fn constructors_and_shape() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+
+        let i = Matrix::identity(3);
+        assert_eq!(i.trace(), 3.0);
+        assert_eq!(i[(0, 1)], 0.0);
+        assert_eq!(i[(2, 2)], 1.0);
+
+        let d = Matrix::from_diag(&[1.0, 2.0]);
+        assert_eq!(d[(1, 1)], 2.0);
+        assert_eq!(d[(0, 1)], 0.0);
+
+        let f = Matrix::from_fn(2, 2, |i, j| (i * 10 + j) as f64);
+        assert_eq!(f[(1, 0)], 10.0);
+
+        assert!(Matrix::zeros(0, 0).is_empty());
+        assert!(!a23().is_square());
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_vec_bad_len_panics() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    fn row_col_access() {
+        let m = a23();
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.col(2), vec![3.0, 6.0]);
+        let mut m = m;
+        m.set_col(0, &[9.0, 8.0]);
+        assert_eq!(m[(0, 0)], 9.0);
+        assert_eq!(m[(1, 0)], 8.0);
+        m.row_mut(0)[1] = -1.0;
+        assert_eq!(m.get(0, 1), -1.0);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = a23();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t[(2, 1)], 6.0);
+        assert!(t.transpose().approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = a23();
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert!(c.approx_eq(&Matrix::from_vec(2, 2, vec![58.0, 64.0, 139.0, 154.0]), 1e-12));
+    }
+
+    #[test]
+    fn matmul_transpose_variants_agree() {
+        let a = a23();
+        let b = Matrix::from_vec(2, 4, (0..8).map(|v| v as f64 - 3.0).collect());
+        // AᵀB via explicit transpose vs fused.
+        let expected = a.transpose().matmul(&b);
+        assert!(a.matmul_transpose_a(&b).approx_eq(&expected, 1e-12));
+        // ABᵀ via explicit transpose vs fused.
+        let c = Matrix::from_vec(5, 3, (0..15).map(|v| (v as f64).sin()).collect());
+        let expected = a.matmul(&c.transpose());
+        assert!(a.matmul_transpose_b(&c).approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn matvec_agrees_with_matmul() {
+        let a = a23();
+        let x = vec![1.0, -2.0, 0.5];
+        let y = a.matvec(&x);
+        assert_eq!(y, vec![1.0 - 4.0 + 1.5, 4.0 - 10.0 + 3.0]);
+        let yt = a.matvec_transpose(&[2.0, -1.0]);
+        assert_eq!(yt, vec![2.0 - 4.0, 4.0 - 5.0, 6.0 - 6.0]);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Matrix::identity(2);
+        let b = Matrix::filled(2, 2, 3.0);
+        let s = &a + &b;
+        assert_eq!(s[(0, 0)], 4.0);
+        assert_eq!(s[(0, 1)], 3.0);
+        let d = &s - &b;
+        assert!(d.approx_eq(&a, 0.0));
+        let n = -&a;
+        assert_eq!(n[(1, 1)], -1.0);
+        let sc = &a * 2.5;
+        assert_eq!(sc[(0, 0)], 2.5);
+        let mut c = a.clone();
+        c += &b;
+        c -= &b;
+        assert!(c.approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn norms_and_trace() {
+        let m = Matrix::from_vec(2, 2, vec![3.0, 0.0, 0.0, 4.0]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+        assert_eq!(m.trace(), 7.0);
+        assert_eq!(m.max_abs(), 4.0);
+        assert_eq!(Matrix::zeros(0, 0).max_abs(), 0.0);
+    }
+
+    #[test]
+    fn symmetry_helpers() {
+        let mut m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 4.0, 1.0]);
+        assert!(!m.is_symmetric(1e-9));
+        assert_eq!(m.max_asymmetry(), 2.0);
+        m.symmetrize_mut();
+        assert!(m.is_symmetric(0.0));
+        assert_eq!(m[(0, 1)], 3.0);
+        assert_eq!(a23().max_asymmetry(), f64::INFINITY);
+    }
+
+    #[test]
+    fn columns_slice() {
+        let m = a23();
+        let c = m.columns(1, 3);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.row(0), &[2.0, 3.0]);
+        assert_eq!(m.columns(0, 0).shape(), (2, 0));
+    }
+
+    #[test]
+    fn stacking() {
+        let a = Matrix::identity(2);
+        let h = a.hstack(&a);
+        assert_eq!(h.shape(), (2, 4));
+        assert_eq!(h[(1, 3)], 1.0);
+        let v = a.vstack(&a);
+        assert_eq!(v.shape(), (4, 2));
+        assert_eq!(v[(3, 1)], 1.0);
+    }
+
+    #[test]
+    fn gershgorin_bounds_lambda_max() {
+        // Symmetric matrix with known eigenvalues {1, 3}.
+        let m = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        assert!(m.gershgorin_upper_bound() >= 3.0);
+        assert_eq!(m.gershgorin_upper_bound(), 3.0);
+        // Diagonal case: exact.
+        let d = Matrix::from_diag(&[5.0, -1.0]);
+        assert_eq!(d.gershgorin_upper_bound(), 5.0);
+    }
+
+    #[test]
+    fn map_and_axpy() {
+        let mut a = Matrix::filled(2, 2, 2.0);
+        let b = a.map(|v| v * v);
+        assert_eq!(b[(0, 0)], 4.0);
+        a.axpy(0.5, &b);
+        assert_eq!(a[(1, 1)], 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_shape_panic() {
+        let _ = a23().matmul(&a23());
+    }
+
+    #[test]
+    fn debug_format_truncates() {
+        let m = Matrix::zeros(20, 20);
+        let s = format!("{m:?}");
+        assert!(s.contains("Matrix 20x20"));
+        assert!(s.contains('…'));
+    }
+}

@@ -1,0 +1,122 @@
+//! Orthogonal Procrustes and polar orthogonalization.
+//!
+//! These two small routines are the engine of *spectral rotation*:
+//!
+//! * [`procrustes`] — `argmax_{RᵀR=I} tr(Rᵀ M)` for a given `M` (e.g.
+//!   `M = FᵀY` when aligning an embedding `F` with an indicator `Y`);
+//! * [`polar_orthogonalize`] — nearest matrix with orthonormal columns to a
+//!   given `n × k` matrix, the projection step of the GPI Stiefel solver.
+//!
+//! Both reduce to a thin SVD (`M = U Σ Vᵀ ⇒ R = U Vᵀ`).
+
+use crate::matrix::Matrix;
+use crate::svd::Svd;
+use crate::Result;
+
+/// Solves the orthogonal Procrustes problem `max_{RᵀR = I} tr(Rᵀ M)`.
+///
+/// Returns the square orthogonal `R = U Vᵀ` from the SVD `M = U Σ Vᵀ`.
+/// Equivalently this minimizes `‖R − M‖_F` over orthogonal matrices.
+///
+/// # Panics
+/// Panics if `m` is not square (rotations here are always `c × c`).
+pub fn procrustes(m: &Matrix) -> Result<Matrix> {
+    assert!(m.is_square(), "procrustes: matrix is {}x{}, not square", m.rows(), m.cols());
+    let svd = Svd::compute(m)?;
+    Ok(svd.u.matmul_transpose_b(&svd.v))
+}
+
+/// Projects an `n × k` matrix (`n ≥ k`) onto the Stiefel manifold: returns
+/// the nearest matrix with orthonormal columns, `U Vᵀ` from the thin SVD.
+///
+/// This is the `F ← UVᵀ` step of Generalized Power Iteration: it maximizes
+/// `tr(Fᵀ M)` over `FᵀF = I`.
+///
+/// # Panics
+/// Panics if `n < k` (no orthonormal-column matrix of that shape exists).
+pub fn polar_orthogonalize(m: &Matrix) -> Result<Matrix> {
+    let (n, k) = m.shape();
+    assert!(n >= k, "polar_orthogonalize: need rows >= cols, got {n}x{k}");
+    let svd = Svd::compute(m)?;
+    Ok(svd.u.matmul_transpose_b(&svd.v))
+}
+
+/// Value of the Procrustes objective `tr(Rᵀ M)` — exposed for tests and
+/// for monitoring GPI inner-loop monotonicity.
+pub fn alignment(r: &Matrix, m: &Matrix) -> f64 {
+    r.matmul_transpose_a(m).trace()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rotation2(theta: f64) -> Matrix {
+        Matrix::from_vec(2, 2, vec![theta.cos(), -theta.sin(), theta.sin(), theta.cos()])
+    }
+
+    #[test]
+    fn recovers_exact_rotation() {
+        // If M itself is orthogonal, R = M.
+        let q = rotation2(0.9);
+        let r = procrustes(&q).unwrap();
+        assert!(r.approx_eq(&q, 1e-12));
+    }
+
+    #[test]
+    fn result_is_orthogonal() {
+        let m = Matrix::from_fn(3, 3, |i, j| ((i * 4 + j) as f64).sin() + 0.2);
+        let r = procrustes(&m).unwrap();
+        assert!(r.matmul_transpose_a(&r).approx_eq(&Matrix::identity(3), 1e-10));
+        assert!(r.matmul_transpose_b(&r).approx_eq(&Matrix::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn optimality_against_sampled_rotations() {
+        // tr(RᵀM) at the Procrustes solution must beat any sampled rotation.
+        let m = Matrix::from_vec(2, 2, vec![1.0, 0.3, -0.2, 0.7]);
+        let r_star = procrustes(&m).unwrap();
+        let best = alignment(&r_star, &m);
+        for step in 0..360 {
+            let theta = step as f64 * std::f64::consts::PI / 180.0;
+            // Proper and improper rotations both.
+            let r = rotation2(theta);
+            assert!(alignment(&r, &m) <= best + 1e-9);
+            let mut refl = r.clone();
+            refl.set_col(1, &refl.col(1).iter().map(|v| -v).collect::<Vec<_>>());
+            assert!(alignment(&refl, &m) <= best + 1e-9);
+        }
+    }
+
+    #[test]
+    fn polar_returns_orthonormal_columns() {
+        let m = Matrix::from_fn(6, 3, |i, j| (i as f64 * 0.5 - j as f64).cos());
+        let f = polar_orthogonalize(&m).unwrap();
+        assert_eq!(f.shape(), (6, 3));
+        assert!(f.matmul_transpose_a(&f).approx_eq(&Matrix::identity(3), 1e-10));
+        // tr(FᵀM) is maximal: compare against QR's Q factor.
+        let q = crate::qr::qr(&m).q;
+        assert!(alignment(&f, &m) >= alignment(&q, &m) - 1e-9);
+    }
+
+    #[test]
+    fn polar_of_orthonormal_is_identity_operation() {
+        let q = crate::qr::qr(&Matrix::from_fn(5, 2, |i, j| ((i + j * 3) as f64).sin())).q;
+        let f = polar_orthogonalize(&q).unwrap();
+        assert!(f.approx_eq(&q, 1e-10));
+    }
+
+    #[test]
+    fn polar_handles_rank_deficiency() {
+        // Rank-1 input still yields a full orthonormal frame.
+        let m = Matrix::from_fn(5, 3, |i, _| (i + 1) as f64);
+        let f = polar_orthogonalize(&m).unwrap();
+        assert!(f.matmul_transpose_a(&f).approx_eq(&Matrix::identity(3), 1e-8));
+    }
+
+    #[test]
+    fn zero_matrix_polar_is_orthonormal() {
+        let f = polar_orthogonalize(&Matrix::zeros(4, 2)).unwrap();
+        assert!(f.matmul_transpose_a(&f).approx_eq(&Matrix::identity(2), 1e-8));
+    }
+}

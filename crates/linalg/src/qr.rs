@@ -1,0 +1,158 @@
+//! Householder QR decomposition.
+//!
+//! Thin QR `A = Q · R` with `Q` (m×k) having orthonormal columns and `R`
+//! (k×n) upper-triangular, `k = min(m, n)`. Used for orthonormalizing
+//! embedding initializations and inside the Lanczos reorthogonalization.
+
+use crate::matrix::Matrix;
+
+/// Thin QR decomposition `A = Q · R`.
+#[derive(Debug, Clone)]
+pub struct QrDecomposition {
+    /// `m × k` matrix with orthonormal columns.
+    pub q: Matrix,
+    /// `k × n` upper-triangular factor.
+    pub r: Matrix,
+}
+
+/// Computes the thin Householder QR of `a`.
+pub fn qr(a: &Matrix) -> QrDecomposition {
+    let (m, n) = a.shape();
+    let k = m.min(n);
+    if m == 0 || n == 0 {
+        return QrDecomposition { q: Matrix::zeros(m, k), r: Matrix::zeros(k, n) };
+    }
+
+    let mut r = a.clone();
+    // Householder vectors, one per reflection, stored densely.
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(k);
+
+    for j in 0..k {
+        // Build the reflector that zeroes column j below the diagonal.
+        let mut v: Vec<f64> = (j..m).map(|i| r[(i, j)]).collect();
+        let alpha = -v[0].signum() * crate::ops::norm2(&v);
+        if alpha == 0.0 {
+            // Column already zero below (and at) the diagonal: identity step.
+            vs.push(Vec::new());
+            continue;
+        }
+        v[0] -= alpha;
+        let vnorm = crate::ops::norm2(&v);
+        if vnorm == 0.0 {
+            vs.push(Vec::new());
+            continue;
+        }
+        crate::ops::scale(1.0 / vnorm, &mut v);
+
+        // Apply H = I − 2vvᵀ to the trailing block of R.
+        for col in j..n {
+            let mut proj = 0.0;
+            for (i, &vi) in v.iter().enumerate() {
+                proj += vi * r[(j + i, col)];
+            }
+            proj *= 2.0;
+            for (i, &vi) in v.iter().enumerate() {
+                let upd = proj * vi;
+                r[(j + i, col)] -= upd;
+            }
+        }
+        vs.push(v);
+    }
+
+    // Form thin Q by applying the reflectors to the first k identity columns.
+    let mut q = Matrix::zeros(m, k);
+    for i in 0..k {
+        q[(i, i)] = 1.0;
+    }
+    for j in (0..k).rev() {
+        let v = &vs[j];
+        if v.is_empty() {
+            continue;
+        }
+        for col in 0..k {
+            let mut proj = 0.0;
+            for (i, &vi) in v.iter().enumerate() {
+                proj += vi * q[(j + i, col)];
+            }
+            proj *= 2.0;
+            for (i, &vi) in v.iter().enumerate() {
+                let upd = proj * vi;
+                q[(j + i, col)] -= upd;
+            }
+        }
+    }
+
+    // Zero out the strictly-lower part of R's top k×n block.
+    let mut r_thin = Matrix::zeros(k, n);
+    for i in 0..k {
+        for j in i..n {
+            r_thin[(i, j)] = r[(i, j)];
+        }
+    }
+    // Canonicalize to a non-negative R diagonal (flip matching Q columns).
+    for j in 0..k {
+        if r_thin[(j, j)] < 0.0 {
+            for col in j..n {
+                r_thin[(j, col)] = -r_thin[(j, col)];
+            }
+            for row in 0..m {
+                q[(row, j)] = -q[(row, j)];
+            }
+        }
+    }
+    QrDecomposition { q, r: r_thin }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(a: &Matrix, tol: f64) -> QrDecomposition {
+        let d = qr(a);
+        let (m, n) = a.shape();
+        let k = m.min(n);
+        assert_eq!(d.q.shape(), (m, k));
+        assert_eq!(d.r.shape(), (k, n));
+        // QᵀQ = I.
+        assert!(d.q.matmul_transpose_a(&d.q).approx_eq(&Matrix::identity(k), tol), "QᵀQ != I");
+        // R upper triangular.
+        for i in 0..k {
+            for j in 0..i.min(n) {
+                assert_eq!(d.r[(i, j)], 0.0, "R not upper triangular at ({i},{j})");
+            }
+        }
+        // QR = A.
+        assert!(d.q.matmul(&d.r).approx_eq(a, tol * (1.0 + a.max_abs())), "QR != A");
+        d
+    }
+
+    #[test]
+    fn square_tall_wide() {
+        check(&Matrix::from_fn(4, 4, |i, j| ((i * 7 + j * 3) as f64).sin()), 1e-12);
+        check(&Matrix::from_fn(8, 3, |i, j| (i as f64 - 2.0 * j as f64).cos()), 1e-12);
+        check(&Matrix::from_fn(3, 8, |i, j| (i + j) as f64 * 0.25 - 1.0), 1e-12);
+    }
+
+    #[test]
+    fn identity_and_zero() {
+        let d = check(&Matrix::identity(3), 1e-14);
+        assert!(d.r.approx_eq(&Matrix::identity(3), 1e-14));
+        check(&Matrix::zeros(4, 2), 1e-14);
+    }
+
+    #[test]
+    fn rank_deficient() {
+        // Two identical columns.
+        let a = Matrix::from_fn(5, 2, |i, _| (i + 1) as f64);
+        let d = check(&a, 1e-12);
+        // Second diagonal of R is (numerically) zero.
+        assert!(d.r[(1, 1)].abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty() {
+        let d = qr(&Matrix::zeros(0, 0));
+        assert!(d.q.is_empty());
+        assert!(d.r.is_empty());
+    }
+}

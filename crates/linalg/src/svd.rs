@@ -1,0 +1,310 @@
+//! Thin singular value decomposition via one-sided Jacobi (Hestenes).
+//!
+//! `A = U · diag(σ) · Vᵀ` with `U` (m×k), `V` (n×k), `k = min(m, n)`,
+//! singular values **descending**. One-sided Jacobi orthogonalizes the
+//! columns of a working copy of `A` with plane rotations accumulated into
+//! `V`; it is simple, backward-stable and accurate for the small-to-medium
+//! problems this workspace solves (Procrustes `c×c` targets, GPI `n×c`
+//! polar factors).
+//!
+//! Columns of `U` that correspond to zero singular values are completed to
+//! an orthonormal set (Gram–Schmidt against the standard basis), so `UᵀU = I`
+//! holds even for rank-deficient input — a property the Stiefel-manifold
+//! updates in `umsc-core` rely on.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::ops::{axpy, dot, norm2, scale};
+use crate::Result;
+
+/// Maximum number of Jacobi sweeps.
+const MAX_SWEEPS: usize = 60;
+
+/// Thin SVD `A = U · diag(σ) · Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors, `m × k`, orthonormal columns.
+    pub u: Matrix,
+    /// Singular values, descending, length `k = min(m, n)`.
+    pub s: Vec<f64>,
+    /// Right singular vectors, `n × k`, orthonormal columns.
+    pub v: Matrix,
+}
+
+impl Svd {
+    /// Computes the thin SVD of `a`.
+    pub fn compute(a: &Matrix) -> Result<Svd> {
+        let (m, n) = a.shape();
+        if m == 0 || n == 0 {
+            let k = m.min(n);
+            return Ok(Svd { u: Matrix::zeros(m, k), s: vec![0.0; k], v: Matrix::zeros(n, k) });
+        }
+        if m >= n {
+            svd_tall(a)
+        } else {
+            // SVD(Aᵀ) = V Σ Uᵀ — swap the factors.
+            let t = svd_tall(&a.transpose())?;
+            Ok(Svd { u: t.v, s: t.s, v: t.u })
+        }
+    }
+
+    /// Numerical rank: number of singular values above
+    /// `tol · σ_max · max(m, n)` (pass `tol = f64::EPSILON` for the usual
+    /// LAPACK-style threshold).
+    pub fn rank(&self, tol: f64) -> usize {
+        let smax = self.s.first().copied().unwrap_or(0.0);
+        let thresh = tol * smax * self.u.rows().max(self.v.rows()) as f64;
+        self.s.iter().filter(|&&s| s > thresh).count()
+    }
+
+    /// Reconstructs `U · diag(σ) · Vᵀ` (tests / diagnostics).
+    pub fn reconstruct(&self) -> Matrix {
+        let mut us = self.u.clone();
+        for j in 0..self.s.len() {
+            let col: Vec<f64> = us.col(j).iter().map(|v| v * self.s[j]).collect();
+            us.set_col(j, &col);
+        }
+        us.matmul_transpose_b(&self.v)
+    }
+}
+
+/// One-sided Jacobi on a tall (m ≥ n) matrix.
+fn svd_tall(a: &Matrix) -> Result<Svd> {
+    let (m, n) = a.shape();
+    debug_assert!(m >= n);
+    let mut u = a.clone();
+    let mut v = Matrix::identity(n);
+
+    // Column views are strided in row-major storage, so work on transposed
+    // buffers: rows of `ut` are the columns of `u`.
+    let mut ut = u.transpose();
+    let mut converged = false;
+    let scale_ref = a.max_abs().max(f64::MIN_POSITIVE);
+    for _sweep in 0..MAX_SWEEPS {
+        let mut rotated = false;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let (alpha, beta, gamma) = {
+                    let up = ut.row(p);
+                    let uq = ut.row(q);
+                    (dot(up, up), dot(uq, uq), dot(up, uq))
+                };
+                // Convergence threshold: 1e-15·√(αβ) sits below the f64
+                // roundoff floor of the dot products, so rotations can fire
+                // forever on correlated tall columns; 1e-13 relative keeps
+                // orthogonality far tighter than any caller needs while
+                // always being reachable.
+                if gamma.abs() <= 1e-13 * (alpha * beta).sqrt().max(1e-30 * scale_ref * scale_ref) {
+                    continue;
+                }
+                rotated = true;
+                let zeta = (beta - alpha) / (2.0 * gamma);
+                let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                rotate_rows(&mut ut, p, q, c, s);
+                // Accumulate into V (same rotation on the right factor).
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+        if !rotated {
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        return Err(LinalgError::NoConvergence { routine: "svd_one_sided_jacobi", max_iter: MAX_SWEEPS });
+    }
+
+    // Extract singular values and normalize the left vectors.
+    let mut s: Vec<f64> = (0..n).map(|j| norm2(ut.row(j))).collect();
+    let smax = s.iter().fold(0.0f64, |a, &b| a.max(b));
+    let zero_tol = f64::EPSILON * smax * m as f64;
+    for j in 0..n {
+        if s[j] > zero_tol {
+            let inv = 1.0 / s[j];
+            scale(inv, ut.row_mut(j));
+        } else {
+            s[j] = 0.0;
+            ut.row_mut(j).fill(0.0);
+        }
+    }
+
+    // Sort descending.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| s[b].partial_cmp(&s[a]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut s_sorted = vec![0.0; n];
+    let mut ut_sorted = Matrix::zeros(n, m);
+    let mut v_sorted = Matrix::zeros(n, n);
+    for (new, &old) in order.iter().enumerate() {
+        s_sorted[new] = s[old];
+        ut_sorted.row_mut(new).copy_from_slice(ut.row(old));
+        v_sorted.set_col(new, &v.col(old));
+    }
+
+    complete_orthonormal_rows(&mut ut_sorted, &s_sorted);
+    u = ut_sorted.transpose();
+    Ok(Svd { u, s: s_sorted, v: v_sorted })
+}
+
+/// Applies the rotation `[c -s; s c]` to rows `p`, `q` of `m` (which hold
+/// column vectors of the original matrix).
+fn rotate_rows(m: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    let cols = m.cols();
+    let (lo, hi) = if p < q { (p, q) } else { (q, p) };
+    let data = m.as_mut_slice();
+    let (head, tail) = data.split_at_mut(hi * cols);
+    let row_lo = &mut head[lo * cols..(lo + 1) * cols];
+    let row_hi = &mut tail[..cols];
+    // (p < q always in the caller, so lo == p.)
+    for (a, b) in row_lo.iter_mut().zip(row_hi.iter_mut()) {
+        let x = *a;
+        let y = *b;
+        *a = c * x - s * y;
+        *b = s * x + c * y;
+    }
+}
+
+/// Replaces zero rows (null left-singular directions) with unit vectors
+/// orthonormal to every other row.
+fn complete_orthonormal_rows(ut: &mut Matrix, s: &[f64]) {
+    let (k, m) = ut.shape();
+    for j in 0..k {
+        if s[j] > 0.0 {
+            continue;
+        }
+        // Try standard basis vectors until one survives orthogonalization.
+        'candidates: for e in 0..m {
+            let mut cand = vec![0.0; m];
+            cand[e] = 1.0;
+            for r in 0..k {
+                if r == j {
+                    continue;
+                }
+                let proj = dot(&cand, ut.row(r));
+                axpy(-proj, &{ ut.row(r).to_vec() }, &mut cand);
+            }
+            let n = norm2(&cand);
+            if n > 1e-6 {
+                scale(1.0 / n, &mut cand);
+                ut.row_mut(j).copy_from_slice(&cand);
+                break 'candidates;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(a: &Matrix, tol: f64) -> Svd {
+        let svd = Svd::compute(a).expect("svd failed");
+        let (m, n) = a.shape();
+        let k = m.min(n);
+        assert_eq!(svd.u.shape(), (m, k));
+        assert_eq!(svd.v.shape(), (n, k));
+        assert_eq!(svd.s.len(), k);
+        // Descending non-negative singular values.
+        for w in svd.s.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+        assert!(svd.s.iter().all(|&x| x >= 0.0));
+        // Orthonormal factors.
+        assert!(svd.u.matmul_transpose_a(&svd.u).approx_eq(&Matrix::identity(k), tol), "UᵀU != I");
+        assert!(svd.v.matmul_transpose_a(&svd.v).approx_eq(&Matrix::identity(k), tol), "VᵀV != I");
+        // Reconstruction.
+        assert!(svd.reconstruct().approx_eq(a, tol * (1.0 + a.max_abs())), "UΣVᵀ != A");
+        svd
+    }
+
+    #[test]
+    fn empty_matrices() {
+        let svd = Svd::compute(&Matrix::zeros(0, 3)).unwrap();
+        assert!(svd.s.is_empty());
+        let svd = Svd::compute(&Matrix::zeros(3, 0)).unwrap();
+        assert!(svd.s.is_empty());
+    }
+
+    #[test]
+    fn diagonal_known_values() {
+        let a = Matrix::from_diag(&[3.0, -2.0, 0.5]);
+        let svd = check(&a, 1e-12);
+        assert!((svd.s[0] - 3.0).abs() < 1e-12);
+        assert!((svd.s[1] - 2.0).abs() < 1e-12);
+        assert!((svd.s[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tall_wide_and_square() {
+        let tall = Matrix::from_fn(7, 3, |i, j| ((i * 3 + j) as f64).sin());
+        check(&tall, 1e-10);
+        let wide = Matrix::from_fn(3, 7, |i, j| ((i * 5 + j * 2) as f64).cos());
+        check(&wide, 1e-10);
+        let square = Matrix::from_fn(5, 5, |i, j| (i as f64 - j as f64) * 0.3 + ((i * j) as f64).sin());
+        check(&square, 1e-10);
+    }
+
+    #[test]
+    fn rank_deficient_still_orthonormal() {
+        // Rank-1 outer product.
+        let a = Matrix::from_fn(5, 3, |i, j| (i as f64 + 1.0) * (j as f64 + 1.0));
+        let svd = check(&a, 1e-9);
+        assert_eq!(svd.rank(f64::EPSILON), 1);
+        assert!(svd.s[1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let a = Matrix::zeros(4, 2);
+        let svd = check(&a, 1e-12);
+        assert!(svd.s.iter().all(|&s| s == 0.0));
+        assert_eq!(svd.rank(f64::EPSILON), 0);
+    }
+
+    #[test]
+    fn singular_values_match_eigenvalues_of_gram() {
+        let a = Matrix::from_fn(6, 4, |i, j| ((i + 2 * j) as f64).sin() + 0.1 * i as f64);
+        let svd = check(&a, 1e-9);
+        let gram = a.matmul_transpose_a(&a);
+        let eig = crate::eigen::SymEigen::compute(&gram).unwrap();
+        // σ_i² are the eigenvalues of AᵀA (descending vs ascending).
+        for (i, &s) in svd.s.iter().enumerate() {
+            let lam = eig.eigenvalues[eig.eigenvalues.len() - 1 - i].max(0.0);
+            assert!((s * s - lam).abs() < 1e-8 * (1.0 + lam), "σ²={} λ={lam}", s * s);
+        }
+    }
+
+    #[test]
+    fn tall_correlated_matrix_converges() {
+        // Regression: a tall matrix whose columns are strongly correlated
+        // (a near-indicator block plus small perturbations — the shape the
+        // GPI polar step produces) once spun past the sweep budget because
+        // the rotation threshold was below the roundoff floor.
+        let n = 400;
+        let c = 4;
+        let a = Matrix::from_fn(n, c, |i, j| {
+            let block = (i * c) / n;
+            let base = if block == j { 1.0 } else { 0.0 };
+            base + 1e-6 * ((i * 31 + j * 17) as f64).sin() + 1e-3 * ((i + j) as f64).cos()
+        });
+        let svd = Svd::compute(&a).expect("tall correlated SVD must converge");
+        assert!(svd.u.matmul_transpose_a(&svd.u).approx_eq(&Matrix::identity(c), 1e-9));
+        assert!(svd.reconstruct().approx_eq(&a, 1e-8 * (1.0 + a.max_abs())));
+    }
+
+    #[test]
+    fn orthogonal_input_has_unit_singular_values() {
+        // Rotation matrix: all singular values are 1.
+        let th = 0.7f64;
+        let a = Matrix::from_vec(2, 2, vec![th.cos(), -th.sin(), th.sin(), th.cos()]);
+        let svd = check(&a, 1e-12);
+        assert!((svd.s[0] - 1.0).abs() < 1e-12);
+        assert!((svd.s[1] - 1.0).abs() < 1e-12);
+    }
+}

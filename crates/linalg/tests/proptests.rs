@@ -1,0 +1,159 @@
+//! Property-based tests: the eigensolvers, SVD, QR and solvers must satisfy
+//! their defining algebraic identities on arbitrary well-scaled inputs, and
+//! the two independent eigensolver implementations must agree.
+
+use proptest::prelude::*;
+use umsc_linalg::{
+    cholesky, cholesky_solve, jacobi_eigen, lu_solve, polar_orthogonalize, procrustes, qr, Matrix,
+    Svd, SymEigen,
+};
+
+/// Strategy: a well-scaled `rows × cols` matrix with entries in [-5, 5].
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-5.0f64..5.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+/// Strategy: a symmetric `n × n` matrix.
+fn sym_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    matrix(n, n).prop_map(|mut m| {
+        m.symmetrize_mut();
+        m
+    })
+}
+
+/// Strategy: an SPD matrix `XᵀX + I`.
+fn spd_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    matrix(n + 2, n).prop_map(move |x| {
+        let mut g = x.matmul_transpose_a(&x);
+        for i in 0..n {
+            g[(i, i)] += 1.0;
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn eigen_satisfies_definition(a in sym_matrix(6)) {
+        let eig = SymEigen::compute(&a).unwrap();
+        // A·V = V·diag(λ)
+        prop_assert!(eig.max_residual(&a) < 1e-8 * (1.0 + a.max_abs()));
+        // Orthonormal V.
+        let vtv = eig.eigenvectors.matmul_transpose_a(&eig.eigenvectors);
+        prop_assert!(vtv.approx_eq(&Matrix::identity(6), 1e-9));
+        // Trace and ascending order.
+        let sum: f64 = eig.eigenvalues.iter().sum();
+        prop_assert!((sum - a.trace()).abs() < 1e-8 * (1.0 + a.max_abs()));
+        for w in eig.eigenvalues.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn eigensolvers_agree(a in sym_matrix(5)) {
+        let ql = SymEigen::compute(&a).unwrap();
+        let (jac, _) = jacobi_eigen(&a).unwrap();
+        for (x, y) in ql.eigenvalues.iter().zip(jac.iter()) {
+            prop_assert!((x - y).abs() < 1e-7 * (1.0 + a.max_abs()), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn gershgorin_bounds_spectrum(a in sym_matrix(6)) {
+        let eig = SymEigen::compute(&a).unwrap();
+        let bound = a.gershgorin_upper_bound();
+        prop_assert!(eig.eigenvalues.last().unwrap() <= &(bound + 1e-9));
+    }
+
+    #[test]
+    fn svd_identities(a in matrix(6, 4)) {
+        let svd = Svd::compute(&a).unwrap();
+        prop_assert!(svd.reconstruct().approx_eq(&a, 1e-8 * (1.0 + a.max_abs())));
+        prop_assert!(svd.u.matmul_transpose_a(&svd.u).approx_eq(&Matrix::identity(4), 1e-9));
+        prop_assert!(svd.v.matmul_transpose_a(&svd.v).approx_eq(&Matrix::identity(4), 1e-9));
+        // Frobenius norm equals sqrt of sum of squared singular values.
+        let fro2: f64 = svd.s.iter().map(|s| s * s).sum();
+        prop_assert!((fro2.sqrt() - a.frobenius_norm()).abs() < 1e-8 * (1.0 + a.frobenius_norm()));
+    }
+
+    #[test]
+    fn svd_wide_matches_tall_of_transpose(a in matrix(3, 7)) {
+        let s1 = Svd::compute(&a).unwrap();
+        let s2 = Svd::compute(&a.transpose()).unwrap();
+        for (x, y) in s1.s.iter().zip(s2.s.iter()) {
+            prop_assert!((x - y).abs() < 1e-9 * (1.0 + a.max_abs()));
+        }
+    }
+
+    #[test]
+    fn qr_identities(a in matrix(7, 4)) {
+        let d = qr(&a);
+        prop_assert!(d.q.matmul(&d.r).approx_eq(&a, 1e-9 * (1.0 + a.max_abs())));
+        prop_assert!(d.q.matmul_transpose_a(&d.q).approx_eq(&Matrix::identity(4), 1e-9));
+        for j in 0..4 {
+            prop_assert!(d.r[(j, j)] >= 0.0, "canonical R diagonal must be non-negative");
+        }
+    }
+
+    #[test]
+    fn cholesky_solve_roundtrip(a in spd_matrix(5), x in prop::collection::vec(-3.0f64..3.0, 5)) {
+        let b = a.matvec(&x);
+        let solved = cholesky_solve(&a, &b).unwrap();
+        for (u, v) in solved.iter().zip(x.iter()) {
+            prop_assert!((u - v).abs() < 1e-6 * (1.0 + v.abs()));
+        }
+        let l = cholesky(&a).unwrap();
+        prop_assert!(l.matmul_transpose_b(&l).approx_eq(&a, 1e-8 * (1.0 + a.max_abs())));
+    }
+
+    #[test]
+    fn lu_solve_roundtrip(x in prop::collection::vec(-3.0f64..3.0, 5), a in matrix(5, 5)) {
+        // Diagonally dominate to guarantee invertibility.
+        let mut a = a;
+        for i in 0..5 {
+            let rowsum: f64 = a.row(i).iter().map(|v| v.abs()).sum();
+            a[(i, i)] += rowsum + 1.0;
+        }
+        let b = a.matvec(&x);
+        let solved = lu_solve(&a, &b).unwrap();
+        for (u, v) in solved.iter().zip(x.iter()) {
+            prop_assert!((u - v).abs() < 1e-7 * (1.0 + v.abs()));
+        }
+    }
+
+    #[test]
+    fn procrustes_is_optimal_orthogonal(m in matrix(3, 3)) {
+        let r = procrustes(&m).unwrap();
+        prop_assert!(r.matmul_transpose_a(&r).approx_eq(&Matrix::identity(3), 1e-8));
+        let best = r.matmul_transpose_a(&m).trace();
+        // Any random rotation built from QR of a perturbation can't beat it.
+        let q = qr(&m).q;
+        prop_assert!(q.matmul_transpose_a(&m).trace() <= best + 1e-7);
+    }
+
+    #[test]
+    fn polar_projects_to_stiefel(m in matrix(6, 3)) {
+        let f = polar_orthogonalize(&m).unwrap();
+        prop_assert!(f.matmul_transpose_a(&f).approx_eq(&Matrix::identity(3), 1e-8));
+        // Maximality of tr(FᵀM) against the QR orthonormalization.
+        let q = qr(&m).q;
+        prop_assert!(q.matmul_transpose_a(&m).trace() <= f.matmul_transpose_a(&m).trace() + 1e-7);
+    }
+
+    #[test]
+    fn matmul_associativity(a in matrix(3, 4), b in matrix(4, 2), c in matrix(2, 5)) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(left.approx_eq(&right, 1e-9 * (1.0 + left.max_abs())));
+    }
+
+    #[test]
+    fn transpose_of_product(a in matrix(3, 4), b in matrix(4, 2)) {
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-10));
+    }
+}

@@ -1,0 +1,114 @@
+//! Contingency table between two labelings.
+//!
+//! All the metrics in [`crate::scores`] are functions of the contingency
+//! (confusion) table, so it is built once and shared. Labels are re-indexed
+//! to dense 0-based ids, making the metrics invariant to label naming.
+
+use std::collections::HashMap;
+
+/// Cross-tabulation of two labelings of the same `n` points.
+#[derive(Debug, Clone)]
+pub struct ContingencyTable {
+    /// `counts[p][t]` = number of points with predicted id `p` and true id `t`.
+    pub counts: Vec<Vec<usize>>,
+    /// Row (predicted-cluster) sizes.
+    pub row_sums: Vec<usize>,
+    /// Column (true-class) sizes.
+    pub col_sums: Vec<usize>,
+    /// Total number of points.
+    pub n: usize,
+}
+
+impl ContingencyTable {
+    /// Builds the table from raw label slices.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    pub fn new(predicted: &[usize], truth: &[usize]) -> Self {
+        assert_eq!(
+            predicted.len(),
+            truth.len(),
+            "ContingencyTable: label lengths differ ({} vs {})",
+            predicted.len(),
+            truth.len()
+        );
+        let pred_ids = reindex(predicted);
+        let true_ids = reindex(truth);
+        let rows = pred_ids.iter().copied().max().map_or(0, |m| m + 1);
+        let cols = true_ids.iter().copied().max().map_or(0, |m| m + 1);
+        let mut counts = vec![vec![0usize; cols]; rows];
+        for (&p, &t) in pred_ids.iter().zip(true_ids.iter()) {
+            counts[p][t] += 1;
+        }
+        let row_sums: Vec<usize> = counts.iter().map(|r| r.iter().sum()).collect();
+        let col_sums: Vec<usize> = (0..cols).map(|j| counts.iter().map(|r| r[j]).sum()).collect();
+        ContingencyTable { counts, row_sums, col_sums, n: predicted.len() }
+    }
+
+    /// Number of predicted clusters.
+    pub fn num_predicted(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of ground-truth classes.
+    pub fn num_truth(&self) -> usize {
+        self.col_sums.len()
+    }
+}
+
+/// Maps arbitrary label values to dense 0-based ids (first-seen order).
+pub fn reindex(labels: &[usize]) -> Vec<usize> {
+    let mut map: HashMap<usize, usize> = HashMap::new();
+    let mut next = 0usize;
+    labels
+        .iter()
+        .map(|&l| {
+            *map.entry(l).or_insert_with(|| {
+                let id = next;
+                next += 1;
+                id
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_counts() {
+        let t = ContingencyTable::new(&[0, 0, 1, 1, 1], &[0, 1, 1, 1, 0]);
+        assert_eq!(t.n, 5);
+        assert_eq!(t.counts, vec![vec![1, 1], vec![1, 2]]);
+        assert_eq!(t.row_sums, vec![2, 3]);
+        assert_eq!(t.col_sums, vec![2, 3]);
+    }
+
+    #[test]
+    fn label_values_are_irrelevant() {
+        let a = ContingencyTable::new(&[7, 7, 42], &[100, 100, 3]);
+        let b = ContingencyTable::new(&[0, 0, 1], &[0, 0, 1]);
+        assert_eq!(a.counts, b.counts);
+    }
+
+    #[test]
+    fn reindex_first_seen_order() {
+        assert_eq!(reindex(&[9, 4, 9, 2]), vec![0, 1, 0, 2]);
+        assert_eq!(reindex(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn empty_labels() {
+        let t = ContingencyTable::new(&[], &[]);
+        assert_eq!(t.n, 0);
+        assert_eq!(t.num_predicted(), 0);
+        assert_eq!(t.num_truth(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn mismatched_lengths_panic() {
+        let _ = ContingencyTable::new(&[0], &[0, 1]);
+    }
+}

@@ -1,0 +1,224 @@
+//! Internal (ground-truth-free) clustering quality indices.
+//!
+//! When no labels exist — the situation the paper's unsupervised setting
+//! actually targets — these measure cluster quality from geometry alone:
+//! silhouette (per-point cohesion vs separation), Davies–Bouldin (lower is
+//! better) and Calinski–Harabasz (higher is better). The model-selection
+//! example uses them to pick the number of clusters.
+
+use umsc_linalg::ops::sq_dist;
+use umsc_linalg::Matrix;
+
+/// Mean silhouette coefficient over all points, in `[-1, 1]`.
+///
+/// Points in singleton clusters score 0 by convention. Returns 0.0 when
+/// fewer than two clusters are present.
+///
+/// # Panics
+/// Panics if `labels.len() != x.rows()`.
+pub fn silhouette_score(x: &Matrix, labels: &[usize]) -> f64 {
+    let n = x.rows();
+    assert_eq!(labels.len(), n, "silhouette_score: length mismatch");
+    let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+    if k < 2 || n < 2 {
+        return 0.0;
+    }
+    let sizes = cluster_sizes(labels, k);
+
+    let mut total = 0.0;
+    for i in 0..n {
+        let li = labels[i];
+        if sizes[li] <= 1 {
+            continue; // silhouette 0 for singletons
+        }
+        // Mean distance to every cluster.
+        let mut sums = vec![0.0f64; k];
+        for j in 0..n {
+            if j != i {
+                sums[labels[j]] += sq_dist(x.row(i), x.row(j)).sqrt();
+            }
+        }
+        let a = sums[li] / (sizes[li] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != li && sizes[c] > 0)
+            .map(|c| sums[c] / sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        if b.is_finite() {
+            total += (b - a) / a.max(b);
+        }
+    }
+    total / n as f64
+}
+
+/// Davies–Bouldin index (≥ 0, lower is better): mean over clusters of the
+/// worst ratio of within-cluster scatter to between-centroid distance.
+///
+/// # Panics
+/// Panics if `labels.len() != x.rows()`.
+pub fn davies_bouldin(x: &Matrix, labels: &[usize]) -> f64 {
+    let n = x.rows();
+    assert_eq!(labels.len(), n, "davies_bouldin: length mismatch");
+    let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+    if k < 2 {
+        return 0.0;
+    }
+    let (centroids, sizes) = centroids(x, labels, k);
+    // Mean distance of members to their centroid.
+    let mut scatter = vec![0.0f64; k];
+    for i in 0..n {
+        scatter[labels[i]] += sq_dist(x.row(i), centroids.row(labels[i])).sqrt();
+    }
+    for (s, &m) in scatter.iter_mut().zip(sizes.iter()) {
+        if m > 0 {
+            *s /= m as f64;
+        }
+    }
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for a in 0..k {
+        if sizes[a] == 0 {
+            continue;
+        }
+        let mut worst = 0.0f64;
+        for b in 0..k {
+            if a == b || sizes[b] == 0 {
+                continue;
+            }
+            let d = sq_dist(centroids.row(a), centroids.row(b)).sqrt();
+            if d > 0.0 {
+                worst = worst.max((scatter[a] + scatter[b]) / d);
+            }
+        }
+        total += worst;
+        counted += 1;
+    }
+    if counted > 0 {
+        total / counted as f64
+    } else {
+        0.0
+    }
+}
+
+/// Calinski–Harabasz index (≥ 0, higher is better): ratio of
+/// between-cluster to within-cluster dispersion, dof-corrected.
+///
+/// # Panics
+/// Panics if `labels.len() != x.rows()`.
+pub fn calinski_harabasz(x: &Matrix, labels: &[usize]) -> f64 {
+    let n = x.rows();
+    assert_eq!(labels.len(), n, "calinski_harabasz: length mismatch");
+    let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+    if k < 2 || n <= k {
+        return 0.0;
+    }
+    let (cents, sizes) = centroids(x, labels, k);
+    let d = x.cols();
+    let mut global = vec![0.0f64; d];
+    for i in 0..n {
+        for (g, &v) in global.iter_mut().zip(x.row(i).iter()) {
+            *g += v / n as f64;
+        }
+    }
+    let mut between = 0.0;
+    for c in 0..k {
+        if sizes[c] > 0 {
+            between += sizes[c] as f64 * sq_dist(cents.row(c), &global);
+        }
+    }
+    let mut within = 0.0;
+    for i in 0..n {
+        within += sq_dist(x.row(i), cents.row(labels[i]));
+    }
+    if within == 0.0 {
+        return f64::INFINITY;
+    }
+    (between / (k - 1) as f64) / (within / (n - k) as f64)
+}
+
+fn cluster_sizes(labels: &[usize], k: usize) -> Vec<usize> {
+    let mut sizes = vec![0usize; k];
+    for &l in labels {
+        sizes[l] += 1;
+    }
+    sizes
+}
+
+fn centroids(x: &Matrix, labels: &[usize], k: usize) -> (Matrix, Vec<usize>) {
+    let d = x.cols();
+    let mut cents = Matrix::zeros(k, d);
+    let sizes = cluster_sizes(labels, k);
+    for (i, &l) in labels.iter().enumerate() {
+        for (c, &v) in cents.row_mut(l).iter_mut().zip(x.row(i).iter()) {
+            *c += v;
+        }
+    }
+    for l in 0..k {
+        if sizes[l] > 0 {
+            let inv = 1.0 / sizes[l] as f64;
+            for c in cents.row_mut(l) {
+                *c *= inv;
+            }
+        }
+    }
+    (cents, sizes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> (Matrix, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for (c, center) in [0.0f64, 20.0, 40.0].iter().enumerate() {
+            for i in 0..8 {
+                rows.push(vec![center + (i as f64) * 0.1, (i as f64 % 3.0) * 0.1]);
+                labels.push(c);
+            }
+        }
+        (Matrix::from_rows(&rows), labels)
+    }
+
+    #[test]
+    fn good_clustering_scores_well() {
+        let (x, labels) = blobs();
+        assert!(silhouette_score(&x, &labels) > 0.9);
+        assert!(davies_bouldin(&x, &labels) < 0.2);
+        assert!(calinski_harabasz(&x, &labels) > 1000.0);
+    }
+
+    #[test]
+    fn bad_clustering_scores_poorly() {
+        let (x, labels) = blobs();
+        // Scramble: assign round-robin across the blobs.
+        let bad: Vec<usize> = (0..labels.len()).map(|i| i % 3).collect();
+        assert!(silhouette_score(&x, &bad) < silhouette_score(&x, &labels) - 0.5);
+        assert!(davies_bouldin(&x, &bad) > davies_bouldin(&x, &labels) + 1.0);
+        assert!(calinski_harabasz(&x, &bad) < 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
+        assert_eq!(silhouette_score(&x, &[0, 0]), 0.0, "single cluster");
+        assert_eq!(davies_bouldin(&x, &[0, 0]), 0.0);
+        assert_eq!(calinski_harabasz(&x, &[0, 0]), 0.0);
+        // Singleton clusters don't crash.
+        let s = silhouette_score(&x, &[0, 1]);
+        assert!(s.is_finite());
+    }
+
+    #[test]
+    fn silhouette_range() {
+        let (x, labels) = blobs();
+        let s = silhouette_score(&x, &labels);
+        assert!((-1.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn ch_prefers_true_k_on_blobs() {
+        let (x, labels) = blobs();
+        let two: Vec<usize> = labels.iter().map(|&l| if l == 2 { 1 } else { l.min(1) }).collect();
+        assert!(calinski_harabasz(&x, &labels) > calinski_harabasz(&x, &two));
+    }
+}

@@ -1,0 +1,32 @@
+//! # umsc-metrics
+//!
+//! External clustering evaluation metrics — the three the paper reports
+//! (ACC, NMI, Purity) plus ARI and pairwise F-measure for completeness.
+//!
+//! All metrics take two label slices (`predicted`, `ground truth`) whose
+//! values are arbitrary cluster ids; labels are re-indexed internally, so
+//! `[5, 5, 9]` and `[0, 0, 1]` describe the same clustering.
+//!
+//! * [`clustering_accuracy`] — best-match accuracy: the fraction of points
+//!   correctly labeled under the permutation of predicted clusters that
+//!   maximizes agreement, found exactly with the Hungarian algorithm
+//!   ([`hungarian()`](hungarian())).
+//! * [`nmi`] — normalized mutual information (`sqrt` normalization, the
+//!   variant this literature uses).
+//! * [`purity`] — each predicted cluster votes for its majority class.
+//! * [`adjusted_rand_index`], [`pairwise_f_measure`] — pair-counting
+//!   agreement metrics.
+
+pub mod confusion;
+pub mod hungarian;
+pub mod internal;
+pub mod scores;
+pub mod vmeasure;
+
+pub use confusion::ContingencyTable;
+pub use hungarian::hungarian;
+pub use internal::{calinski_harabasz, davies_bouldin, silhouette_score};
+pub use scores::{
+    adjusted_rand_index, clustering_accuracy, nmi, pairwise_f_measure, purity, MetricSuite,
+};
+pub use vmeasure::{completeness, fowlkes_mallows, homogeneity, v_measure};

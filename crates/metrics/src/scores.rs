@@ -1,0 +1,279 @@
+//! The clustering metrics themselves.
+
+use crate::confusion::ContingencyTable;
+use crate::hungarian::hungarian;
+use umsc_linalg::Matrix;
+
+/// Best-match clustering accuracy (ACC).
+///
+/// Finds the one-to-one mapping between predicted clusters and true classes
+/// that maximizes the number of agreeing points (Hungarian algorithm on the
+/// negated contingency table, padded square when cluster counts differ) and
+/// returns that count over `n`. 1.0 iff the clusterings are identical up to
+/// relabeling; an empty input scores 0.0.
+///
+/// ```
+/// use umsc_metrics::clustering_accuracy;
+///
+/// // Same partition, different label names: perfect score.
+/// assert_eq!(clustering_accuracy(&[1, 1, 0], &[5, 5, 9]), 1.0);
+/// // One point astray out of four.
+/// assert_eq!(clustering_accuracy(&[0, 0, 1, 0], &[0, 0, 1, 1]), 0.75);
+/// ```
+pub fn clustering_accuracy(predicted: &[usize], truth: &[usize]) -> f64 {
+    let t = ContingencyTable::new(predicted, truth);
+    if t.n == 0 {
+        return 0.0;
+    }
+    let k = t.num_predicted().max(t.num_truth());
+    // Max-agreement assignment == min of (max_count − count); pad with 0s.
+    let cost = Matrix::from_fn(k, k, |i, j| {
+        let c = t.counts.get(i).and_then(|r| r.get(j)).copied().unwrap_or(0);
+        -(c as f64)
+    });
+    let assignment = hungarian(&cost);
+    let matched: f64 = assignment
+        .iter()
+        .enumerate()
+        .map(|(i, &j)| -cost[(i, j)])
+        .sum();
+    matched / t.n as f64
+}
+
+/// Normalized mutual information with the `sqrt` normalization
+/// `NMI = I(P;T) / sqrt(H(P)·H(T))` — the convention of the multi-view
+/// clustering literature. Degenerate cases (either labeling constant, or
+/// empty input) return 1.0 when the two labelings are identical partitions
+/// and 0.0 otherwise.
+pub fn nmi(predicted: &[usize], truth: &[usize]) -> f64 {
+    let t = ContingencyTable::new(predicted, truth);
+    if t.n == 0 {
+        return 0.0;
+    }
+    let n = t.n as f64;
+    let mut mi = 0.0;
+    for (i, row) in t.counts.iter().enumerate() {
+        for (j, &c) in row.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let pij = c as f64 / n;
+            let pi = t.row_sums[i] as f64 / n;
+            let pj = t.col_sums[j] as f64 / n;
+            mi += pij * (pij / (pi * pj)).ln();
+        }
+    }
+    let hp = entropy(&t.row_sums, n);
+    let ht = entropy(&t.col_sums, n);
+    if hp == 0.0 && ht == 0.0 {
+        // Both partitions are single clusters: identical.
+        return 1.0;
+    }
+    if hp == 0.0 || ht == 0.0 {
+        // One is constant, the other is not: zero information shared.
+        return 0.0;
+    }
+    (mi / (hp * ht).sqrt()).clamp(0.0, 1.0)
+}
+
+fn entropy(sizes: &[usize], n: f64) -> f64 {
+    sizes
+        .iter()
+        .filter(|&&s| s > 0)
+        .map(|&s| {
+            let p = s as f64 / n;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+/// Purity: each predicted cluster is credited with its majority true class.
+pub fn purity(predicted: &[usize], truth: &[usize]) -> f64 {
+    let t = ContingencyTable::new(predicted, truth);
+    if t.n == 0 {
+        return 0.0;
+    }
+    let majority: usize = t.counts.iter().map(|row| row.iter().copied().max().unwrap_or(0)).sum();
+    majority as f64 / t.n as f64
+}
+
+/// Adjusted Rand index (chance-corrected pair-counting agreement, in
+/// `[-1, 1]` with expectation 0 under random labelings).
+pub fn adjusted_rand_index(predicted: &[usize], truth: &[usize]) -> f64 {
+    let t = ContingencyTable::new(predicted, truth);
+    if t.n < 2 {
+        return if t.n == 0 { 0.0 } else { 1.0 };
+    }
+    let choose2 = |x: usize| (x * x.saturating_sub(1)) as f64 / 2.0;
+    let sum_ij: f64 = t.counts.iter().flatten().map(|&c| choose2(c)).sum();
+    let sum_i: f64 = t.row_sums.iter().map(|&c| choose2(c)).sum();
+    let sum_j: f64 = t.col_sums.iter().map(|&c| choose2(c)).sum();
+    let total = choose2(t.n);
+    let expected = sum_i * sum_j / total;
+    let max_index = 0.5 * (sum_i + sum_j);
+    if (max_index - expected).abs() < 1e-15 {
+        // Both partitions trivial in the same way.
+        return if (sum_ij - expected).abs() < 1e-15 { 1.0 } else { 0.0 };
+    }
+    (sum_ij - expected) / (max_index - expected)
+}
+
+/// Pairwise F-measure: precision/recall over the set of same-cluster pairs.
+///
+/// Returns `(f_score, precision, recall)`.
+pub fn pairwise_f_measure(predicted: &[usize], truth: &[usize]) -> (f64, f64, f64) {
+    let t = ContingencyTable::new(predicted, truth);
+    if t.n < 2 {
+        return (0.0, 0.0, 0.0);
+    }
+    let choose2 = |x: usize| (x * x.saturating_sub(1)) as f64 / 2.0;
+    let tp: f64 = t.counts.iter().flatten().map(|&c| choose2(c)).sum();
+    let pred_pairs: f64 = t.row_sums.iter().map(|&c| choose2(c)).sum();
+    let true_pairs: f64 = t.col_sums.iter().map(|&c| choose2(c)).sum();
+    let precision = if pred_pairs > 0.0 { tp / pred_pairs } else { 0.0 };
+    let recall = if true_pairs > 0.0 { tp / true_pairs } else { 0.0 };
+    let f = if precision + recall > 0.0 { 2.0 * precision * recall / (precision + recall) } else { 0.0 };
+    (f, precision, recall)
+}
+
+/// All metrics at once — the row format of the paper's results table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricSuite {
+    /// Best-match accuracy.
+    pub acc: f64,
+    /// Normalized mutual information.
+    pub nmi: f64,
+    /// Purity.
+    pub purity: f64,
+    /// Adjusted Rand index.
+    pub ari: f64,
+    /// Pairwise F-score.
+    pub f_score: f64,
+}
+
+impl MetricSuite {
+    /// Evaluates every metric for a predicted labeling against ground truth.
+    pub fn evaluate(predicted: &[usize], truth: &[usize]) -> MetricSuite {
+        let (f_score, _, _) = pairwise_f_measure(predicted, truth);
+        MetricSuite {
+            acc: clustering_accuracy(predicted, truth),
+            nmi: nmi(predicted, truth),
+            purity: purity(predicted, truth),
+            ari: adjusted_rand_index(predicted, truth),
+            f_score,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PERFECT: (&[usize], &[usize]) = (&[0, 0, 1, 1, 2, 2], &[2, 2, 0, 0, 1, 1]);
+
+    #[test]
+    fn perfect_clustering_scores_one() {
+        let (p, t) = PERFECT;
+        assert_eq!(clustering_accuracy(p, t), 1.0);
+        assert!((nmi(p, t) - 1.0).abs() < 1e-12);
+        assert_eq!(purity(p, t), 1.0);
+        assert!((adjusted_rand_index(p, t) - 1.0).abs() < 1e-12);
+        let (f, pr, rc) = pairwise_f_measure(p, t);
+        assert_eq!((f, pr, rc), (1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn acc_counts_best_permutation() {
+        // Predicted swaps one point: 5/6 correct under the best mapping.
+        let p = [0, 0, 1, 1, 2, 1];
+        let t = [0, 0, 1, 1, 2, 2];
+        assert!((clustering_accuracy(&p, &t) - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acc_handles_more_predicted_clusters_than_truth() {
+        let p = [0, 1, 2, 3];
+        let t = [0, 0, 1, 1];
+        // Best mapping matches 1 of {0,1} and 1 of {2,3}: ACC = 0.5.
+        assert!((clustering_accuracy(&p, &t) - 0.5).abs() < 1e-12);
+        // And the reverse direction (fewer predicted than truth).
+        assert!((clustering_accuracy(&t, &p) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmi_symmetry_and_range() {
+        let p = [0, 0, 1, 1, 2, 1];
+        let t = [0, 1, 1, 1, 2, 2];
+        let a = nmi(&p, &t);
+        let b = nmi(&t, &p);
+        assert!((a - b).abs() < 1e-12, "NMI must be symmetric");
+        assert!((0.0..=1.0).contains(&a));
+    }
+
+    #[test]
+    fn nmi_degenerate_cases() {
+        assert_eq!(nmi(&[0, 0, 0], &[0, 0, 0]), 1.0, "two constant partitions are identical");
+        assert_eq!(nmi(&[0, 0, 0], &[0, 1, 2]), 0.0, "constant vs discrete shares nothing");
+        assert_eq!(nmi(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn purity_majority_voting() {
+        // Cluster 0: {A, A, B} → 2; cluster 1: {B, B} → 2; purity 4/5.
+        let p = [0, 0, 0, 1, 1];
+        let t = [0, 0, 1, 1, 1];
+        assert!((purity(&p, &t) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn purity_of_all_singletons_is_one_but_nmi_penalizes() {
+        let p = [0, 1, 2, 3, 4, 5];
+        let t = [0, 0, 0, 1, 1, 1];
+        assert_eq!(purity(&p, &t), 1.0);
+        assert!(nmi(&p, &t) < 1.0, "NMI must penalize over-clustering");
+    }
+
+    #[test]
+    fn ari_is_zero_expected_under_independence_and_negative_possible() {
+        // Identical: 1. Independent-ish: near 0. Anti-correlated can dip below 0.
+        assert!((adjusted_rand_index(&[0, 0, 1, 1], &[0, 0, 1, 1]) - 1.0).abs() < 1e-12);
+        let near_zero = adjusted_rand_index(&[0, 1, 0, 1], &[0, 0, 1, 1]);
+        assert!(near_zero.abs() < 0.5);
+    }
+
+    #[test]
+    fn ari_label_permutation_invariance() {
+        let p = [0, 0, 1, 1, 2, 2];
+        let p_renamed = [5, 5, 9, 9, 1, 1];
+        let t = [0, 1, 1, 1, 2, 2];
+        assert!((adjusted_rand_index(&p, &t) - adjusted_rand_index(&p_renamed, &t)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f_measure_components() {
+        let p = [0, 0, 0, 1];
+        let t = [0, 0, 1, 1];
+        // Same-cluster pairs: predicted {01,02,12}, truth {01,23}; TP = {01}.
+        let (f, pr, rc) = pairwise_f_measure(&p, &t);
+        assert!((pr - 1.0 / 3.0).abs() < 1e-12);
+        assert!((rc - 0.5).abs() < 1e-12);
+        assert!((f - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metric_suite_bundles_consistently() {
+        let p = [0, 0, 1, 1, 2, 1];
+        let t = [0, 0, 1, 1, 2, 2];
+        let s = MetricSuite::evaluate(&p, &t);
+        assert_eq!(s.acc, clustering_accuracy(&p, &t));
+        assert_eq!(s.nmi, nmi(&p, &t));
+        assert_eq!(s.purity, purity(&p, &t));
+        assert_eq!(s.ari, adjusted_rand_index(&p, &t));
+    }
+
+    #[test]
+    fn single_point() {
+        assert_eq!(clustering_accuracy(&[3], &[7]), 1.0);
+        assert_eq!(adjusted_rand_index(&[3], &[7]), 1.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Entropy-based conditional metrics: homogeneity, completeness,
+//! V-measure (Rosenberg & Hirschberg, EMNLP 2007) and the Fowlkes–Mallows
+//! index. These complement the paper's ACC/NMI/Purity triple and are often
+//! requested by downstream users of a clustering library.
+
+use crate::confusion::ContingencyTable;
+
+/// Homogeneity: 1 − H(T|P)/H(T) — each predicted cluster contains members
+/// of a single true class. 1.0 for perfect (or when truth is constant).
+pub fn homogeneity(predicted: &[usize], truth: &[usize]) -> f64 {
+    let t = ContingencyTable::new(predicted, truth);
+    conditional_score(&t, false)
+}
+
+/// Completeness: 1 − H(P|T)/H(P) — all members of a true class land in the
+/// same predicted cluster. The mirror image of [`homogeneity`].
+pub fn completeness(predicted: &[usize], truth: &[usize]) -> f64 {
+    let t = ContingencyTable::new(predicted, truth);
+    conditional_score(&t, true)
+}
+
+/// V-measure: harmonic mean of homogeneity and completeness.
+pub fn v_measure(predicted: &[usize], truth: &[usize]) -> f64 {
+    let h = homogeneity(predicted, truth);
+    let c = completeness(predicted, truth);
+    if h + c == 0.0 {
+        0.0
+    } else {
+        2.0 * h * c / (h + c)
+    }
+}
+
+/// Fowlkes–Mallows index: geometric mean of pairwise precision and recall.
+pub fn fowlkes_mallows(predicted: &[usize], truth: &[usize]) -> f64 {
+    let (_, precision, recall) = crate::scores::pairwise_f_measure(predicted, truth);
+    (precision * recall).sqrt()
+}
+
+/// Shared driver: `swap = false` computes homogeneity (condition truth on
+/// predicted), `swap = true` computeness completeness (the transpose).
+fn conditional_score(t: &ContingencyTable, swap: bool) -> f64 {
+    if t.n == 0 {
+        return 0.0;
+    }
+    let n = t.n as f64;
+    // Entropy of the "target" labeling (truth for homogeneity).
+    let target_sizes = if swap { &t.row_sums } else { &t.col_sums };
+    let h_target: f64 = target_sizes
+        .iter()
+        .filter(|&&s| s > 0)
+        .map(|&s| {
+            let p = s as f64 / n;
+            -p * p.ln()
+        })
+        .sum();
+    if h_target == 0.0 {
+        // Target is a single class: trivially homogeneous/complete.
+        return 1.0;
+    }
+    // Conditional entropy H(target | grouping).
+    let mut h_cond = 0.0;
+    let groups = if swap { t.col_sums.len() } else { t.counts.len() };
+    for g in 0..groups {
+        let group_size: f64 = if swap { t.col_sums[g] as f64 } else { t.row_sums[g] as f64 };
+        if group_size == 0.0 {
+            continue;
+        }
+        let cells: Vec<usize> = if swap {
+            t.counts.iter().map(|row| row[g]).collect()
+        } else {
+            t.counts[g].clone()
+        };
+        for &c in &cells {
+            if c > 0 {
+                let p_joint = c as f64 / n;
+                h_cond -= p_joint * (c as f64 / group_size).ln();
+            }
+        }
+    }
+    1.0 - h_cond / h_target
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clustering() {
+        let p = [0, 0, 1, 1];
+        let t = [1, 1, 0, 0];
+        assert!((homogeneity(&p, &t) - 1.0).abs() < 1e-12);
+        assert!((completeness(&p, &t) - 1.0).abs() < 1e-12);
+        assert!((v_measure(&p, &t) - 1.0).abs() < 1e-12);
+        assert!((fowlkes_mallows(&p, &t) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn over_clustering_is_homogeneous_not_complete() {
+        // Singletons: perfectly homogeneous, poorly complete.
+        let p = [0, 1, 2, 3];
+        let t = [0, 0, 1, 1];
+        assert!((homogeneity(&p, &t) - 1.0).abs() < 1e-12);
+        // Exactly 0.5 here: H(P|T) = ln2, H(P) = ln4.
+        assert!((completeness(&p, &t) - 0.5).abs() < 1e-12);
+        let v = v_measure(&p, &t);
+        assert!(v > 0.0 && v < 1.0);
+    }
+
+    #[test]
+    fn under_clustering_is_complete_not_homogeneous() {
+        let p = [0, 0, 0, 0];
+        let t = [0, 0, 1, 1];
+        assert!((completeness(&p, &t) - 1.0).abs() < 1e-12);
+        assert!(homogeneity(&p, &t) < 0.5);
+    }
+
+    #[test]
+    fn duality() {
+        // completeness(p, t) == homogeneity(t, p).
+        let p = [0, 0, 1, 2, 2, 1];
+        let t = [0, 1, 1, 2, 0, 2];
+        assert!((completeness(&p, &t) - homogeneity(&t, &p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranges_and_empty() {
+        let p = [0, 1, 0, 1, 2];
+        let t = [2, 2, 1, 0, 0];
+        for m in [homogeneity(&p, &t), completeness(&p, &t), v_measure(&p, &t), fowlkes_mallows(&p, &t)] {
+            assert!((0.0..=1.0).contains(&m), "{m}");
+        }
+        assert_eq!(v_measure(&[], &[]), 0.0);
+    }
+}

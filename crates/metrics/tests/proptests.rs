@@ -1,0 +1,92 @@
+//! Property tests for the metric suite: permutation invariance, ranges,
+//! perfect-score characterization, and Hungarian optimality against brute
+//! force.
+
+use proptest::prelude::*;
+use umsc_metrics::{
+    adjusted_rand_index, clustering_accuracy, hungarian, nmi, pairwise_f_measure, purity,
+};
+use umsc_linalg::Matrix;
+
+fn labels(n: usize, k: usize) -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0..k, n)
+}
+
+/// Applies a random relabeling permutation to cluster ids.
+fn relabel(l: &[usize], shift: usize) -> Vec<usize> {
+    l.iter().map(|&v| (v * 7 + shift) % 1000 + 100).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn metrics_in_range(p in labels(20, 4), t in labels(20, 3)) {
+        let acc = clustering_accuracy(&p, &t);
+        prop_assert!((0.0..=1.0).contains(&acc));
+        let m = nmi(&p, &t);
+        prop_assert!((0.0..=1.0).contains(&m));
+        let pu = purity(&p, &t);
+        prop_assert!((0.0..=1.0).contains(&pu));
+        let ari = adjusted_rand_index(&p, &t);
+        prop_assert!((-1.0..=1.0).contains(&ari));
+        let (f, pr, rc) = pairwise_f_measure(&p, &t);
+        prop_assert!((0.0..=1.0).contains(&f) && (0.0..=1.0).contains(&pr) && (0.0..=1.0).contains(&rc));
+    }
+
+    #[test]
+    fn label_naming_is_irrelevant(p in labels(15, 3), t in labels(15, 3), s in 0usize..50) {
+        let p2 = relabel(&p, s);
+        prop_assert!((clustering_accuracy(&p, &t) - clustering_accuracy(&p2, &t)).abs() < 1e-12);
+        prop_assert!((nmi(&p, &t) - nmi(&p2, &t)).abs() < 1e-12);
+        prop_assert!((purity(&p, &t) - purity(&p2, &t)).abs() < 1e-12);
+        prop_assert!((adjusted_rand_index(&p, &t) - adjusted_rand_index(&p2, &t)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_comparison_is_perfect(t in labels(12, 4)) {
+        prop_assert_eq!(clustering_accuracy(&t, &t), 1.0);
+        prop_assert!((nmi(&t, &t) - 1.0).abs() < 1e-12);
+        prop_assert_eq!(purity(&t, &t), 1.0);
+        prop_assert!((adjusted_rand_index(&t, &t) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmi_and_ari_symmetric(p in labels(14, 3), t in labels(14, 4)) {
+        prop_assert!((nmi(&p, &t) - nmi(&t, &p)).abs() < 1e-12);
+        prop_assert!((adjusted_rand_index(&p, &t) - adjusted_rand_index(&t, &p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acc_at_least_max_class_frequency(t in labels(20, 3)) {
+        // Predicting a single cluster yields ACC = max class share, and the
+        // optimal matching can never do worse than that for any predictor
+        // compared with constant prediction.
+        let constant = vec![0usize; t.len()];
+        let base = clustering_accuracy(&constant, &t);
+        let mut freq = std::collections::HashMap::new();
+        for &v in &t {
+            *freq.entry(v).or_insert(0usize) += 1;
+        }
+        let max_share = *freq.values().max().unwrap() as f64 / t.len() as f64;
+        prop_assert!((base - max_share).abs() < 1e-12);
+    }
+
+    #[test]
+    fn purity_upper_bounds_acc(p in labels(20, 4), t in labels(20, 4)) {
+        // The Hungarian matching is one-to-one, majority voting is not, so
+        // purity ≥ ACC always.
+        prop_assert!(purity(&p, &t) + 1e-12 >= clustering_accuracy(&p, &t));
+    }
+
+    #[test]
+    fn hungarian_beats_identity_and_any_shift(v in prop::collection::vec(0.0f64..10.0, 16)) {
+        let cost = Matrix::from_vec(4, 4, v);
+        let a = hungarian(&cost);
+        let opt: f64 = a.iter().enumerate().map(|(i, &j)| cost[(i, j)]).sum();
+        for shift in 0..4usize {
+            let c: f64 = (0..4).map(|i| cost[(i, (i + shift) % 4)]).sum();
+            prop_assert!(opt <= c + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Missing-data scenario: sensor dropouts before clustering.
+//!
+//! ```text
+//! cargo run --release --example missing_data
+//! ```
+//!
+//! Randomly deletes a fraction of the entries of two of the three views
+//! (NaN), repairs them with the two imputers from `umsc::data::impute`,
+//! and compares the clustering quality of the repaired dataset against
+//! the intact one.
+
+use umsc::data::impute::{impute_column_mean, impute_knn_cross_view};
+use umsc::data::synth::{MultiViewGmm, ViewSpec};
+use umsc::metrics::clustering_accuracy;
+use umsc::{Umsc, UmscConfig};
+
+fn main() {
+    let mut gen = MultiViewGmm::new(
+        "dropout",
+        4,
+        45,
+        vec![ViewSpec::clean(10), ViewSpec::clean(12), ViewSpec::clean(8)],
+    );
+    gen.separation = 4.5;
+    let clean = gen.generate(13);
+
+    let base = Umsc::new(UmscConfig::new(4)).fit(&clean).expect("clean fit");
+    let base_acc = clustering_accuracy(&base.labels, &clean.labels);
+    println!("intact data:              ACC = {base_acc:.4}\n");
+
+    println!(
+        "{:<8} {:>11} {:>11} {:>12} {:>12}",
+        "dropout", "mean RMSE", "kNN RMSE", "ACC (mean)", "ACC (kNN)"
+    );
+    println!("{}", "-".repeat(58));
+    for &rate in &[0.2f64, 0.5, 0.8] {
+        // Deterministic dropout mask on views 1 and 2.
+        let punch = |data: &mut umsc::MultiViewDataset| {
+            let mut state = 0x9E3779B97F4A7C15u64;
+            for v in [1usize, 2] {
+                let (n, d) = data.views[v].shape();
+                for i in 0..n {
+                    for j in 0..d {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        if (state >> 11) as f64 / ((1u64 << 53) as f64) < rate {
+                            data.views[v][(i, j)] = f64::NAN;
+                        }
+                    }
+                }
+            }
+        };
+
+        // Reconstruction error against the intact values.
+        let rmse = |repaired: &umsc::MultiViewDataset| -> f64 {
+            let mut sum = 0.0;
+            let mut count = 0usize;
+            for v in [1usize, 2] {
+                let (n, d) = clean.views[v].shape();
+                for i in 0..n {
+                    for j in 0..d {
+                        let diff = repaired.views[v][(i, j)] - clean.views[v][(i, j)];
+                        if diff != 0.0 {
+                            sum += diff * diff;
+                            count += 1;
+                        }
+                    }
+                }
+            }
+            if count > 0 { (sum / count as f64).sqrt() } else { 0.0 }
+        };
+
+        let mut mean_ds = clean.clone();
+        punch(&mut mean_ds);
+        for v in [1usize, 2] {
+            impute_column_mean(&mut mean_ds.views[v]);
+        }
+        let rmse_mean = rmse(&mean_ds);
+        let acc_mean = clustering_accuracy(
+            &Umsc::new(UmscConfig::new(4)).fit(&mean_ds).expect("mean fit").labels,
+            &clean.labels,
+        );
+
+        let mut knn_ds = clean.clone();
+        punch(&mut knn_ds);
+        for v in [1usize, 2] {
+            impute_knn_cross_view(&mut knn_ds, v, 5);
+        }
+        let rmse_knn = rmse(&knn_ds);
+        let acc_knn = clustering_accuracy(
+            &Umsc::new(UmscConfig::new(4)).fit(&knn_ds).expect("knn fit").labels,
+            &clean.labels,
+        );
+
+        println!(
+            "{:<8} {:>11.4} {:>11.4} {:>12.4} {:>12.4}",
+            format!("{:.0}%", rate * 100.0),
+            rmse_mean,
+            rmse_knn,
+            acc_mean,
+            acc_knn
+        );
+    }
+    println!(
+        "\nCross-view kNN reconstructs the actual values substantially better than column means\n(RMSE column); clustering ACC is forgiving here because the intact view still\ncarries the structure — exactly the redundancy multi-view methods exploit."
+    );
+}

@@ -1,0 +1,62 @@
+//! Model selection: how many clusters? Truth-free diagnostics.
+//!
+//! ```text
+//! cargo run --release --example model_selection
+//! ```
+//!
+//! Real deployments rarely know `c`. This example sweeps candidate cluster
+//! counts on a multi-view dataset and reports three truth-free signals:
+//! the fused Laplacian **eigengap** (spectral theory's answer), and the
+//! **silhouette** / **Calinski–Harabasz** indices of each candidate
+//! clustering in embedding space — then compares against the planted truth.
+
+use umsc::core::pipeline::{build_view_laplacians, spectral_embedding_with_values};
+use umsc::data::synth::{MultiViewGmm, ViewSpec};
+use umsc::linalg::Matrix;
+use umsc::metrics::{calinski_harabasz, clustering_accuracy, silhouette_score};
+use umsc::{Umsc, UmscConfig};
+
+fn main() {
+    // Planted: 5 clusters.
+    let mut gen = MultiViewGmm::new(
+        "select",
+        5,
+        40,
+        vec![ViewSpec::clean(10), ViewSpec::clean(14)],
+    );
+    gen.separation = 4.5;
+    let data = gen.generate(11);
+
+    // Fused (average) Laplacian spectrum for the eigengap heuristic.
+    let model = Umsc::new(UmscConfig::new(2));
+    let laplacians = build_view_laplacians(&data, &model.config().graph_config()).expect("graphs");
+    let n = data.n();
+    let mut fused = Matrix::zeros(n, n);
+    for l in &laplacians {
+        fused.axpy(1.0 / laplacians.len() as f64, l);
+    }
+    let kmax = 10;
+    let (vals, _) = spectral_embedding_with_values(&fused, kmax + 1, 0).expect("spectrum");
+
+    println!("fused Laplacian spectrum (smallest {}):", kmax + 1);
+    for (i, v) in vals.iter().enumerate() {
+        println!("  λ_{i:<2} = {v:.5}");
+    }
+    let best_gap = (1..kmax).max_by(|&a, &b| {
+        let ga = vals[a] - vals[a - 1];
+        let gb = vals[b] - vals[b - 1];
+        ga.partial_cmp(&gb).unwrap()
+    });
+    println!("\neigengap heuristic suggests c = {:?}", best_gap);
+
+    println!("\n{:>3} {:>12} {:>10} {:>12}", "c", "silhouette", "CH index", "ACC vs truth");
+    println!("{}", "-".repeat(42));
+    for c in 2..=8usize {
+        let res = Umsc::new(UmscConfig::new(c)).fit(&data).expect("fit");
+        let sil = silhouette_score(&res.embedding, &res.labels);
+        let ch = calinski_harabasz(&res.embedding, &res.labels);
+        let acc = clustering_accuracy(&res.labels, &data.labels);
+        let mark = if c == data.num_clusters { "  <- planted" } else { "" };
+        println!("{c:>3} {sil:>12.4} {ch:>10.1} {acc:>12.4}{mark}");
+    }
+}

@@ -1,0 +1,52 @@
+//! # umsc — Unified Multi-view Spectral Clustering
+//!
+//! A from-scratch Rust reproduction of Zhong & Pun, *"A Unified Framework
+//! for Multi-view Spectral Clustering"* (ICDE 2020), including the entire
+//! substrate it stands on: dense/iterative symmetric eigensolvers, SVD,
+//! similarity graphs and Laplacians, clustering metrics, K-means, six
+//! benchmark-shaped multi-view dataset generators, and the full baseline
+//! suite the paper compares against.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`core`] | `umsc-core` | the unified one-stage model ([`Umsc`]) |
+//! | [`baselines`] | `umsc-baselines` | SC/Co-Reg/AMGL/AWP comparison suite |
+//! | [`data`] | `umsc-data` | multi-view generators + CSV IO |
+//! | [`graph`] | `umsc-graph` | affinities, k-NN/CAN graphs, Laplacians |
+//! | [`linalg`] | `umsc-linalg` | matrices, eigen/SVD/QR/LU/Lanczos |
+//! | [`metrics`] | `umsc-metrics` | ACC (Hungarian), NMI, purity, ARI, F |
+//! | [`kmeans`] | `umsc-kmeans` | K-means for the two-stage baselines |
+//!
+//! ## Example
+//!
+//! ```
+//! use umsc::{Umsc, UmscConfig};
+//! use umsc::data::shapes::two_moons_multiview;
+//! use umsc::metrics::clustering_accuracy;
+//!
+//! let data = two_moons_multiview(150, 0.05, 42);
+//! let result = Umsc::new(UmscConfig::new(2)).fit(&data).unwrap();
+//! let acc = clustering_accuracy(&result.labels, &data.labels);
+//! assert!(acc > 0.9);
+//! ```
+//!
+//! Run `cargo run --example quickstart` for a narrated tour, and see
+//! `DESIGN.md` / `EXPERIMENTS.md` for the paper-reproduction details.
+
+pub use umsc_baselines as baselines;
+pub use umsc_core as core;
+pub use umsc_data as data;
+pub use umsc_graph as graph;
+pub use umsc_kmeans as kmeans;
+pub use umsc_linalg as linalg;
+pub use umsc_metrics as metrics;
+
+// The types almost every user touches, at the top level.
+pub use umsc_core::{
+    AnchorUmsc, AnchorUmscConfig, Discretization, GraphKind, Metric, Umsc, UmscConfig, UmscError,
+    UmscResult, Weighting,
+};
+pub use umsc_data::MultiViewDataset;
+pub use umsc_metrics::MetricSuite;

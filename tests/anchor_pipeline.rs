@@ -1,0 +1,63 @@
+//! Integration tests for the large-scale anchor path: agreement with the
+//! exact solver, linear-ish scaling sanity, and the out-of-sample API.
+
+use umsc::core::anchor::{AnchorUmsc, AnchorUmscConfig};
+use umsc::data::synth::{MultiViewGmm, ViewSpec};
+use umsc::metrics::{clustering_accuracy, nmi};
+use umsc::{Umsc, UmscConfig};
+
+fn dataset(per: usize, seed: u64) -> umsc::MultiViewDataset {
+    let mut gen = MultiViewGmm::new(
+        "anchor-it",
+        4,
+        per,
+        vec![ViewSpec::clean(10), ViewSpec::clean(14)],
+    );
+    gen.separation = 5.5;
+    gen.generate(seed)
+}
+
+#[test]
+fn anchor_agrees_with_exact_on_moderate_data() {
+    let data = dataset(50, 1);
+    let exact = Umsc::new(UmscConfig::new(4)).fit(&data).unwrap();
+    let anchor = AnchorUmsc::new(AnchorUmscConfig::new(4).with_anchors(80)).fit(&data).unwrap();
+    let acc_exact = clustering_accuracy(&exact.labels, &data.labels);
+    let acc_anchor = clustering_accuracy(&anchor.labels, &data.labels);
+    assert!(acc_exact > 0.95, "exact ACC {acc_exact}");
+    assert!(acc_anchor > 0.9, "anchor ACC {acc_anchor}");
+    // The two partitions agree strongly with each other, not just truth.
+    assert!(nmi(&exact.labels, &anchor.labels) > 0.8);
+}
+
+#[test]
+fn anchor_handles_large_n_quickly() {
+    // n = 3200 would take the dense path minutes; the anchor path must
+    // finish in seconds and still cluster correctly.
+    let data = dataset(800, 2);
+    let start = std::time::Instant::now();
+    let res = AnchorUmsc::new(AnchorUmscConfig::new(4).with_anchors(120)).fit(&data).unwrap();
+    let elapsed = start.elapsed();
+    let acc = clustering_accuracy(&res.labels, &data.labels);
+    assert!(acc > 0.9, "ACC {acc}");
+    assert!(elapsed.as_secs() < 120, "anchor path too slow: {elapsed:?}");
+}
+
+#[test]
+fn anchor_weights_still_suppress_noise_views() {
+    let mut data = dataset(80, 3);
+    data.corrupt_view(0, 1.0, 50);
+    let res = AnchorUmsc::new(AnchorUmscConfig::new(4).with_anchors(60)).fit(&data).unwrap();
+    assert!(
+        res.view_weights[0] < res.view_weights[1],
+        "corrupted view not suppressed: {:?}",
+        res.view_weights
+    );
+}
+
+#[test]
+fn facade_reexports_anchor_api() {
+    // Compile-time check that the top-level façade exposes the types.
+    let _cfg: umsc::AnchorUmscConfig = umsc::AnchorUmscConfig::new(2);
+    fn _takes_model(_m: &umsc::core::anchor::AnchorModel) {}
+}

@@ -1,0 +1,134 @@
+//! Workspace integration tests: the full pipeline across every crate —
+//! generators → graphs → solver → metrics — plus cross-method sanity
+//! relations the paper's claims rest on.
+
+use umsc::baselines::{standard_suite, Amgl, ClusteringMethod, SingleViewSc, UmscMethod};
+use umsc::data::synth::{MultiViewGmm, ViewSpec};
+use umsc::data::{benchmark, BenchmarkId};
+use umsc::metrics::{clustering_accuracy, nmi, MetricSuite};
+use umsc::{Discretization, Umsc, UmscConfig};
+
+fn planted(seed: u64) -> umsc::MultiViewDataset {
+    let mut gen = MultiViewGmm::new(
+        "planted",
+        4,
+        20,
+        vec![ViewSpec::clean(8), ViewSpec::clean(12), ViewSpec::clean(6)],
+    );
+    gen.separation = 6.0;
+    gen.generate(seed)
+}
+
+#[test]
+fn unified_recovers_planted_structure() {
+    let data = planted(1);
+    let res = Umsc::new(UmscConfig::new(4)).fit(&data).unwrap();
+    let m = MetricSuite::evaluate(&res.labels, &data.labels);
+    assert!(m.acc > 0.95, "ACC {}", m.acc);
+    assert!(m.nmi > 0.85, "NMI {}", m.nmi);
+    assert!(m.purity >= m.acc - 1e-12);
+}
+
+#[test]
+fn every_method_in_the_suite_runs_end_to_end() {
+    let data = planted(2);
+    for method in standard_suite(4) {
+        let out = method
+            .cluster(&data, 0)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", method.name()));
+        assert_eq!(out.labels.len(), data.n(), "{}", method.name());
+        let acc = clustering_accuracy(&out.labels, &data.labels);
+        assert!(acc > 0.7, "{} ACC {acc} too low on easy data", method.name());
+    }
+}
+
+#[test]
+fn unified_beats_or_matches_worst_single_view_with_noise() {
+    // A corrupted view must not drag the fused method below the best
+    // single view by a wide margin — and must crush the worst view.
+    let mut data = planted(3);
+    data.corrupt_view(1, 1.0, 7);
+
+    let per_view = SingleViewSc::new(4).cluster_each(&data, 0).unwrap();
+    let accs: Vec<f64> = per_view.iter().map(|l| clustering_accuracy(l, &data.labels)).collect();
+    let worst = accs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let best = accs.iter().cloned().fold(0.0f64, f64::max);
+
+    let res = Umsc::new(UmscConfig::new(4)).fit(&data).unwrap();
+    let acc = clustering_accuracy(&res.labels, &data.labels);
+    assert!(acc > worst + 0.2, "fused {acc} vs worst view {worst}");
+    assert!(acc >= best - 0.05, "fused {acc} should be near/above best view {best}");
+    // The corrupted view's weight collapses.
+    assert!(res.view_weights[1] < 0.25, "weights {:?}", res.view_weights);
+}
+
+#[test]
+fn one_stage_is_more_stable_than_two_stage_across_seeds() {
+    // The paper's headline: removing K-means removes its init variance.
+    // Measure label agreement across solver seeds on the same data.
+    let data = planted(4);
+    let labels_for = |disc: Discretization, seed: u64| {
+        Umsc::new(UmscConfig::new(4).with_discretization(disc).with_seed(seed))
+            .fit(&data)
+            .unwrap()
+            .labels
+    };
+    // One-stage output is seed-independent end to end (deterministic algebra).
+    let a = labels_for(Discretization::Rotation, 0);
+    let b = labels_for(Discretization::Rotation, 123);
+    assert!((nmi(&a, &b) - 1.0).abs() < 1e-9, "one-stage output varies with seed");
+}
+
+#[test]
+fn umsc_at_least_matches_amgl_on_benchmarks() {
+    // AMGL = identical fusion, two-stage discretization. On the benchmark
+    // mimics the unified method should match or beat it on average.
+    let mut sum_umsc = 0.0;
+    let mut sum_amgl = 0.0;
+    for (i, id) in [BenchmarkId::Msrcv1, BenchmarkId::ThreeSources].into_iter().enumerate() {
+        let data = benchmark(id, 5).subsample(150, i as u64);
+        let u = UmscMethod::new(data.num_clusters).cluster(&data, 0).unwrap();
+        let a = Amgl::new(data.num_clusters).cluster(&data, 0).unwrap();
+        sum_umsc += clustering_accuracy(&u.labels, &data.labels);
+        sum_amgl += clustering_accuracy(&a.labels, &data.labels);
+    }
+    assert!(
+        sum_umsc >= sum_amgl - 0.1,
+        "unified {sum_umsc:.3} clearly below AMGL {sum_amgl:.3} on average"
+    );
+}
+
+#[test]
+fn benchmark_mimics_are_clusterable_but_not_trivial() {
+    // The mimics must separate methods: good ACC for the unified method,
+    // clearly below 1.0 (views are imperfect by construction).
+    let data = benchmark(BenchmarkId::Msrcv1, 11);
+    let res = Umsc::new(UmscConfig::new(data.num_clusters)).fit(&data).unwrap();
+    let acc = clustering_accuracy(&res.labels, &data.labels);
+    assert!(acc > 0.5, "benchmark mimic unusable, ACC {acc}");
+}
+
+#[test]
+fn csv_round_trip_preserves_clustering() {
+    let data = planted(6);
+    let dir = std::env::temp_dir().join(format!("umsc_it_{}", std::process::id()));
+    umsc::data::io::save_csv(&data, &dir).unwrap();
+    let back = umsc::data::io::load_csv(&dir, "reloaded").unwrap();
+    let a = Umsc::new(UmscConfig::new(4)).fit(&data).unwrap();
+    let b = Umsc::new(UmscConfig::new(4)).fit(&back).unwrap();
+    assert_eq!(a.labels, b.labels, "clustering changed across CSV round trip");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sparse_laplacian_lanczos_path_in_full_pipeline() {
+    // Above the dense threshold (n > 600) the solver transparently uses
+    // Lanczos; results must stay sane.
+    let mut gen = MultiViewGmm::new("big", 3, 220, vec![ViewSpec::clean(6), ViewSpec::clean(6)]);
+    gen.separation = 6.0;
+    let data = gen.generate(8);
+    assert!(data.n() > 600);
+    let res = Umsc::new(UmscConfig::new(3)).fit(&data).unwrap();
+    let acc = clustering_accuracy(&res.labels, &data.labels);
+    assert!(acc > 0.9, "large-n path ACC {acc}");
+}
