@@ -69,7 +69,7 @@ impl ClusteringMethod for CoTrainSc {
             for _round in 0..self.iterations {
                 // Project each view's affinity onto the others' subspaces.
                 let mut new_affinities = Vec::with_capacity(nviews);
-                for v in 0..nviews {
+                for (v, w_v) in affinities.iter().enumerate() {
                     let mut proj = Matrix::zeros(n, n);
                     for (u, f) in embeddings.iter().enumerate() {
                         if u != v {
@@ -77,7 +77,7 @@ impl ClusteringMethod for CoTrainSc {
                             proj.axpy(1.0 / (nviews - 1) as f64, &p);
                         }
                     }
-                    let mut s = proj.matmul(&affinities[v]);
+                    let mut s = proj.matmul(w_v);
                     s.symmetrize_mut();
                     // Affinities must stay non-negative for the Laplacian.
                     s.map_mut(|x| x.max(0.0));

@@ -3,11 +3,12 @@
 //! deterministic given a seed, and score reasonably on clearly separated
 //! data.
 
-use proptest::prelude::*;
 use umsc_baselines::standard_suite;
 use umsc_data::synth::{MultiViewGmm, ViewSpec};
 use umsc_data::MultiViewDataset;
 use umsc_metrics::clustering_accuracy;
+use umsc_rt::check::{check, Config};
+use umsc_rt::{ensure, Rng, Shrink};
 
 #[derive(Debug, Clone)]
 struct Scenario {
@@ -17,9 +18,25 @@ struct Scenario {
     seed: u64,
 }
 
-fn scenario() -> impl Strategy<Value = Scenario> {
-    (2usize..4, 8usize..14, prop::collection::vec(3usize..10, 1..3), 0u64..200)
-        .prop_map(|(c, per, dims, seed)| Scenario { c, per, dims, seed })
+// Shrunk scenarios would leave the generator's support; report as-is.
+impl Shrink for Scenario {
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+fn cases(n: usize) -> Config {
+    Config::cases(n)
+}
+
+fn scenario(rng: &mut Rng) -> Scenario {
+    let n_dims = rng.gen_range(1..3);
+    Scenario {
+        c: rng.gen_range(2..4),
+        per: rng.gen_range(8..14),
+        dims: (0..n_dims).map(|_| rng.gen_range(3..10)).collect(),
+        seed: rng.gen_range(0..200) as u64,
+    }
 }
 
 fn generate(s: &Scenario, separation: f64) -> MultiViewDataset {
@@ -33,41 +50,45 @@ fn generate(s: &Scenario, separation: f64) -> MultiViewDataset {
     gen.generate(s.seed)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn all_methods_return_valid_labelings(s in scenario()) {
-        let data = generate(&s, 4.0);
+#[test]
+fn all_methods_return_valid_labelings() {
+    check(&cases(12), scenario, |s| {
+        let data = generate(s, 4.0);
         for method in standard_suite(s.c) {
             let out = method.cluster(&data, s.seed).unwrap_or_else(|e| panic!("{}: {e}", method.name()));
-            prop_assert_eq!(out.labels.len(), data.n(), "{}", method.name());
-            prop_assert!(out.labels.iter().all(|&l| l < s.c), "{}", method.name());
+            ensure!(out.labels.len() == data.n(), "{}", method.name());
+            ensure!(out.labels.iter().all(|&l| l < s.c), "{}", method.name());
             if let Some(w) = &out.view_weights {
-                prop_assert_eq!(w.len(), data.num_views());
-                prop_assert!(w.iter().all(|&x| x >= 0.0 && x.is_finite()));
+                ensure!(w.len() == data.num_views());
+                ensure!(w.iter().all(|&x| x >= 0.0 && x.is_finite()));
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn all_methods_deterministic(s in scenario()) {
-        let data = generate(&s, 4.0);
+#[test]
+fn all_methods_deterministic() {
+    check(&cases(12), scenario, |s| {
+        let data = generate(s, 4.0);
         for method in standard_suite(s.c) {
             let a = method.cluster(&data, 7).unwrap();
             let b = method.cluster(&data, 7).unwrap();
-            prop_assert_eq!(a.labels, b.labels, "{} nondeterministic", method.name());
+            ensure!(a.labels == b.labels, "{} nondeterministic", method.name());
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn all_methods_handle_separable_data(s in scenario()) {
+#[test]
+fn all_methods_handle_separable_data() {
+    check(&cases(12), scenario, |s| {
         // With huge separation every sane method should be near-perfect —
         // provided each view can *see* the separation: a view with fewer
         // dimensions than the latent space can legitimately lose a cluster
         // distinction under its random observation map (views are partial
         // by design), so widen the views to at least the latent dimension.
-        let mut s = s;
+        let mut s = s.clone();
         let latent = s.c.max(4);
         for d in &mut s.dims {
             *d += latent + 1;
@@ -76,7 +97,8 @@ proptest! {
         for method in standard_suite(s.c) {
             let out = method.cluster(&data, 0).unwrap();
             let acc = clustering_accuracy(&out.labels, &data.labels);
-            prop_assert!(acc > 0.85, "{} ACC {acc} on trivially separable data", method.name());
+            ensure!(acc > 0.85, "{} ACC {acc} on trivially separable data", method.name());
         }
-    }
+        Ok(())
+    });
 }

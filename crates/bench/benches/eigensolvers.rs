@@ -1,10 +1,10 @@
-//! Criterion microbench: the eigensolver substrate across problem sizes —
-//! dense QL vs Jacobi (full spectrum) and Lanczos (partial spectrum), the
-//! cost centers of every spectral method in the workspace.
+//! Microbench: the eigensolver substrate across problem sizes — dense QL
+//! vs Jacobi (full spectrum) and Lanczos (partial spectrum), the cost
+//! centers of every spectral method in the workspace.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use umsc_linalg::{jacobi_eigen, lanczos_smallest, LanczosConfig, Matrix, SymEigen};
+use umsc_rt::bench::Bench;
 
 fn laplacian_like(n: usize) -> Matrix {
     // Banded symmetric diagonally-dominant matrix (Laplacian-shaped).
@@ -24,39 +24,33 @@ fn laplacian_like(n: usize) -> Matrix {
     m
 }
 
-fn bench_dense_eigen(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dense_eigen_full_spectrum");
-    g.sample_size(10);
+fn bench_dense_eigen() {
+    let mut g = Bench::new("dense_eigen_full_spectrum").sample_size(10);
     for &n in &[32usize, 64, 128, 256] {
         let a = laplacian_like(n);
-        g.bench_with_input(BenchmarkId::new("ql_tridiag", n), &a, |b, a| {
-            b.iter(|| SymEigen::compute_unchecked(black_box(a)).unwrap())
-        });
+        g.run(&format!("ql_tridiag/{n}"), || SymEigen::compute_unchecked(black_box(&a)).unwrap());
         if n <= 128 {
-            g.bench_with_input(BenchmarkId::new("jacobi", n), &a, |b, a| {
-                b.iter(|| jacobi_eigen(black_box(a)).unwrap())
-            });
+            g.run(&format!("jacobi/{n}"), || jacobi_eigen(black_box(&a)).unwrap());
         }
     }
-    g.finish();
 }
 
-fn bench_partial_eigen(c: &mut Criterion) {
-    let mut g = c.benchmark_group("partial_eigen_smallest_8");
-    g.sample_size(10);
+fn bench_partial_eigen() {
+    let mut g = Bench::new("partial_eigen_smallest_8").sample_size(10);
     for &n in &[128usize, 256, 512, 1024] {
         let a = laplacian_like(n);
-        g.bench_with_input(BenchmarkId::new("lanczos", n), &a, |b, a| {
-            b.iter(|| lanczos_smallest(black_box(a), 8, &LanczosConfig::default()).unwrap())
+        g.run(&format!("lanczos/{n}"), || {
+            lanczos_smallest(black_box(&a), 8, &LanczosConfig::default()).unwrap()
         });
         if n <= 512 {
-            g.bench_with_input(BenchmarkId::new("dense_then_slice", n), &a, |b, a| {
-                b.iter(|| SymEigen::compute_unchecked(black_box(a)).unwrap().smallest(8))
+            g.run(&format!("dense_then_slice/{n}"), || {
+                SymEigen::compute_unchecked(black_box(&a)).unwrap().smallest(8)
             });
         }
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_dense_eigen, bench_partial_eigen);
-criterion_main!(benches);
+fn main() {
+    bench_dense_eigen();
+    bench_partial_eigen();
+}

@@ -1,41 +1,30 @@
-//! Criterion microbench: graph construction — distances, Gaussian/CAN
-//! affinities, Laplacians — per dataset size.
+//! Microbench: graph construction — distances, Gaussian/CAN affinities,
+//! Laplacians — per dataset size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use umsc_data::synth::{MultiViewGmm, ViewSpec};
 use umsc_graph::{
     adaptive_neighbor_affinity, gaussian_affinity, knn_affinity, normalized_laplacian,
     pairwise_sq_distances, Bandwidth,
 };
+use umsc_rt::bench::Bench;
 
-fn bench_graph_pipeline(c: &mut Criterion) {
-    let mut g = c.benchmark_group("graph_build");
-    g.sample_size(10);
+fn main() {
+    let mut g = Bench::new("graph_build").sample_size(10);
     for &n_per in &[50usize, 100, 200] {
         let data = MultiViewGmm::new("bench", 4, n_per, vec![ViewSpec::clean(32)]).generate(1);
         let x = &data.views[0];
         let n = x.rows();
-        g.bench_with_input(BenchmarkId::new("pairwise_distances", n), x, |b, x| {
-            b.iter(|| pairwise_sq_distances(black_box(x)))
-        });
+        g.run(&format!("pairwise_distances/{n}"), || pairwise_sq_distances(black_box(x)));
         let d = pairwise_sq_distances(x);
-        g.bench_with_input(BenchmarkId::new("gaussian_self_tuning", n), &d, |b, d| {
-            b.iter(|| gaussian_affinity(black_box(d), &Bandwidth::SelfTuning { k: 7 }))
+        g.run(&format!("gaussian_self_tuning/{n}"), || {
+            gaussian_affinity(black_box(&d), &Bandwidth::SelfTuning { k: 7 })
         });
-        g.bench_with_input(BenchmarkId::new("knn_graph_k10", n), &d, |b, d| {
-            b.iter(|| knn_affinity(black_box(d), 10, &Bandwidth::SelfTuning { k: 7 }))
+        g.run(&format!("knn_graph_k10/{n}"), || {
+            knn_affinity(black_box(&d), 10, &Bandwidth::SelfTuning { k: 7 })
         });
-        g.bench_with_input(BenchmarkId::new("can_adaptive_k10", n), &d, |b, d| {
-            b.iter(|| adaptive_neighbor_affinity(black_box(d), 10))
-        });
+        g.run(&format!("can_adaptive_k10/{n}"), || adaptive_neighbor_affinity(black_box(&d), 10));
         let w = gaussian_affinity(&d, &Bandwidth::SelfTuning { k: 7 });
-        g.bench_with_input(BenchmarkId::new("normalized_laplacian", n), &w, |b, w| {
-            b.iter(|| normalized_laplacian(black_box(w)))
-        });
+        g.run(&format!("normalized_laplacian/{n}"), || normalized_laplacian(black_box(&w)));
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_graph_pipeline);
-criterion_main!(benches);

@@ -1,12 +1,12 @@
-//! Criterion microbench: end-to-end method cost on a fixed mid-size
-//! multi-view workload — the runtime story behind Table 3 (one-stage UMSC
-//! vs the two-stage and co-regularized baselines).
+//! Microbench: end-to-end method cost on a fixed mid-size multi-view
+//! workload — the runtime story behind Table 3 (one-stage UMSC vs the
+//! two-stage and co-regularized baselines).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use umsc_baselines::{Amgl, Awp, ClusteringMethod, CoRegSc, KernelAvgSc, UmscMethod};
 use umsc_data::synth::{MultiViewGmm, ViewSpec};
 use umsc_data::MultiViewDataset;
+use umsc_rt::bench::Bench;
 
 fn workload() -> MultiViewDataset {
     MultiViewGmm::new(
@@ -18,25 +18,19 @@ fn workload() -> MultiViewDataset {
     .generate(3)
 }
 
-fn bench_methods(c: &mut Criterion) {
+fn main() {
     let data = workload();
-    let mut g = c.benchmark_group("end_to_end_n200_v3_c5");
-    g.sample_size(10);
+    let mut g = Bench::new("end_to_end_n200_v3_c5").sample_size(10);
 
     let umsc = UmscMethod::new(5);
-    g.bench_function("UMSC (one-stage)", |b| b.iter(|| umsc.cluster(black_box(&data), 0).unwrap()));
+    g.run("UMSC (one-stage)", || umsc.cluster(black_box(&data), 0).unwrap());
     let amgl = Amgl::new(5);
-    g.bench_function("AMGL (two-stage)", |b| b.iter(|| amgl.cluster(black_box(&data), 0).unwrap()));
+    g.run("AMGL (two-stage)", || amgl.cluster(black_box(&data), 0).unwrap());
     let awp = Awp::new(5);
-    g.bench_function("AWP", |b| b.iter(|| awp.cluster(black_box(&data), 0).unwrap()));
+    g.run("AWP", || awp.cluster(black_box(&data), 0).unwrap());
     let kavg = KernelAvgSc::new(5);
-    g.bench_function("SC (kernel-avg)", |b| b.iter(|| kavg.cluster(black_box(&data), 0).unwrap()));
+    g.run("SC (kernel-avg)", || kavg.cluster(black_box(&data), 0).unwrap());
     let mut coreg = CoRegSc::new(5);
     coreg.iterations = 5;
-    g.bench_function("Co-Reg (5 rounds)", |b| b.iter(|| coreg.cluster(black_box(&data), 0).unwrap()));
-
-    g.finish();
+    g.run("Co-Reg (5 rounds)", || coreg.cluster(black_box(&data), 0).unwrap());
 }
-
-criterion_group!(benches, bench_methods);
-criterion_main!(benches);

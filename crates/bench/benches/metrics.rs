@@ -1,38 +1,28 @@
-//! Criterion microbench: metric evaluation cost — the Hungarian matching
-//! inside ACC dominates (O(k³) in the cluster count), while NMI/ARI are
-//! linear passes over the contingency table.
+//! Microbench: metric evaluation cost — the Hungarian matching inside ACC
+//! dominates (O(k³) in the cluster count), while NMI/ARI are linear passes
+//! over the contingency table.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use umsc_metrics::{adjusted_rand_index, clustering_accuracy, nmi, MetricSuite};
+use umsc_rt::bench::Bench;
 
 fn labels(n: usize, k: usize, phase: usize) -> Vec<usize> {
     (0..n).map(|i| (i * 7 + phase) % k).collect()
 }
 
-fn bench_metrics(c: &mut Criterion) {
-    let mut g = c.benchmark_group("metrics_n2000");
+fn main() {
+    let mut g = Bench::new("metrics_n2000").sample_size(10);
     let n = 2000;
     for &k in &[5usize, 20, 80] {
         let p = labels(n, k, 3);
         let t = labels(n, k, 0);
-        g.bench_with_input(BenchmarkId::new("acc_hungarian", k), &k, |b, _| {
-            b.iter(|| clustering_accuracy(black_box(&p), black_box(&t)))
+        g.run(&format!("acc_hungarian/{k}"), || {
+            clustering_accuracy(black_box(&p), black_box(&t))
         });
-        g.bench_with_input(BenchmarkId::new("nmi", k), &k, |b, _| {
-            b.iter(|| nmi(black_box(&p), black_box(&t)))
-        });
-        g.bench_with_input(BenchmarkId::new("ari", k), &k, |b, _| {
-            b.iter(|| adjusted_rand_index(black_box(&p), black_box(&t)))
-        });
+        g.run(&format!("nmi/{k}"), || nmi(black_box(&p), black_box(&t)));
+        g.run(&format!("ari/{k}"), || adjusted_rand_index(black_box(&p), black_box(&t)));
     }
-    g.bench_function("full_suite_k20", |b| {
-        let p = labels(n, 20, 3);
-        let t = labels(n, 20, 0);
-        b.iter(|| MetricSuite::evaluate(black_box(&p), black_box(&t)))
-    });
-    g.finish();
+    let p = labels(n, 20, 3);
+    let t = labels(n, 20, 0);
+    g.run("full_suite_k20", || MetricSuite::evaluate(black_box(&p), black_box(&t)));
 }
-
-criterion_group!(benches, bench_metrics);
-criterion_main!(benches);

@@ -1,18 +1,24 @@
-//! Criterion microbench: per-block cost of the unified solver — the
-//! ablation bench for the design choices DESIGN.md calls out (warm-start
-//! eigensolve vs GPI inner iteration vs Procrustes vs Y-step). The
-//! eigensolve dominates; everything downstream is cheap, which is why the
-//! one-stage loop costs little more than a single two-stage embedding.
+//! Microbench: per-block cost of the unified solver — the ablation bench
+//! for the design choices DESIGN.md calls out (warm-start eigensolve vs
+//! GPI inner iteration vs Procrustes vs Y-step). The eigensolve dominates;
+//! everything downstream is cheap, which is why the one-stage loop costs
+//! little more than a single two-stage embedding.
+//!
+//! Also measures the threaded vs sequential per-view Laplacian build (the
+//! hot path parallelized by `umsc-rt`); the speedup line is only
+//! meaningful on a multi-core machine.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use umsc_core::indicator::{discretize_rows, labels_to_indicator};
-use umsc_core::pipeline::{build_view_laplacians, spectral_embedding, GraphConfig};
+use umsc_core::pipeline::{
+    build_laplacians_threaded_with, build_view_laplacians, spectral_embedding, GraphConfig,
+};
 use umsc_core::{gpi_stiefel, init_rotation};
 use umsc_data::synth::{MultiViewGmm, ViewSpec};
 use umsc_linalg::{procrustes, Matrix};
+use umsc_rt::bench::Bench;
 
-fn setup() -> (Vec<Matrix>, Matrix, Matrix, Matrix) {
+fn setup() -> (Vec<Matrix>, Matrix, Matrix, Matrix, umsc_data::MultiViewDataset) {
     let mut gen = MultiViewGmm::new("bench", 5, 50, vec![ViewSpec::clean(20), ViewSpec::clean(30)]);
     gen.separation = 4.0;
     let data = gen.generate(2);
@@ -24,42 +30,43 @@ fn setup() -> (Vec<Matrix>, Matrix, Matrix, Matrix) {
     let f = spectral_embedding(&fused, 5, 0).unwrap();
     let r = init_rotation(&f).unwrap();
     let y = labels_to_indicator(&discretize_rows(&f.matmul(&r)), 5);
-    (laplacians, fused, f, y)
+    (laplacians, fused, f, y, data)
 }
 
-fn bench_solver_steps(c: &mut Criterion) {
-    let (laplacians, fused, f, y) = setup();
+fn main() {
+    let (laplacians, fused, f, y, data) = setup();
     let n = fused.rows();
-    let mut g = c.benchmark_group(format!("solver_steps_n{n}_c5"));
-    g.sample_size(10);
+    let mut g = Bench::new(&format!("solver_steps_n{n}_c5")).sample_size(10);
 
-    g.bench_function("embedding_eigensolve", |b| {
-        b.iter(|| spectral_embedding(black_box(&fused), 5, 0).unwrap())
-    });
+    g.run("embedding_eigensolve", || spectral_embedding(black_box(&fused), 5, 0).unwrap());
     let b_mat = y.matmul_transpose_b(&Matrix::identity(5)).scale(0.01);
-    g.bench_function("gpi_f_step_40_inner", |b| {
-        b.iter(|| gpi_stiefel(black_box(&fused), black_box(&b_mat), black_box(&f), 40, 1e-10).unwrap())
+    g.run("gpi_f_step_40_inner", || {
+        gpi_stiefel(black_box(&fused), black_box(&b_mat), black_box(&f), 40, 1e-10).unwrap()
     });
-    g.bench_function("procrustes_r_step", |b| {
-        b.iter(|| procrustes(black_box(&f.matmul_transpose_a(&y))).unwrap())
+    g.run("procrustes_r_step", || procrustes(black_box(&f.matmul_transpose_a(&y))).unwrap());
+    let fr = f.clone();
+    g.run("argmax_y_step", || discretize_rows(black_box(&fr)));
+    g.run("trace_w_step", || {
+        laplacians
+            .iter()
+            .map(|l| {
+                let lf = l.matmul(black_box(&f));
+                f.matmul_transpose_a(&lf).trace()
+            })
+            .collect::<Vec<f64>>()
     });
-    g.bench_function("argmax_y_step", |b| {
-        let fr = f.clone();
-        b.iter(|| discretize_rows(black_box(&fr)))
-    });
-    g.bench_function("trace_w_step", |b| {
-        b.iter(|| {
-            laplacians
-                .iter()
-                .map(|l| {
-                    let lf = l.matmul(black_box(&f));
-                    f.matmul_transpose_a(&lf).trace()
-                })
-                .collect::<Vec<f64>>()
-        })
-    });
-    g.finish();
-}
 
-criterion_group!(benches, bench_solver_steps);
-criterion_main!(benches);
+    // Threaded vs sequential per-view Laplacian construction.
+    let threads = umsc_rt::par::max_threads();
+    let cfg = GraphConfig::default();
+    let seq = g.run("per_view_laplacians/seq", || {
+        build_laplacians_threaded_with(1, black_box(&data.views), &cfg)
+    });
+    let par = g.run(&format!("per_view_laplacians/threads_{threads}"), || {
+        build_laplacians_threaded_with(threads, black_box(&data.views), &cfg)
+    });
+    println!(
+        "per_view_laplacians speedup at {threads} threads: {:.2}x",
+        seq.median_ns / par.median_ns
+    );
+}

@@ -180,7 +180,7 @@ fn print_winner_counts(all: &[RunSummary]) {
         }
     }
     let mut wins: Vec<(String, usize)> = wins.into_iter().collect();
-    wins.sort_by(|a, b| b.1.cmp(&a.1));
+    wins.sort_by_key(|x| std::cmp::Reverse(x.1));
     println!("\nwins by mean ACC: {wins:?}");
 }
 

@@ -222,7 +222,7 @@ mod tests {
         ]);
         let labels = discretize_rows(&fr);
         for j in 0..3 {
-            assert!(labels.iter().any(|&l| l == j), "cluster {j} empty: {labels:?}");
+            assert!(labels.contains(&j), "cluster {j} empty: {labels:?}");
         }
     }
 
@@ -246,8 +246,8 @@ mod tests {
         let init = discretize_rows(&g);
         let refined = discretize_scaled(&g, &init, 20);
         let obj = |labels: &[usize]| {
-            let mut sums = vec![0.0; 3];
-            let mut sizes = vec![0usize; 3];
+            let mut sums = [0.0; 3];
+            let mut sizes = [0usize; 3];
             for (i, &l) in labels.iter().enumerate() {
                 sums[l] += g[(i, l)];
                 sizes[l] += 1;
@@ -263,7 +263,7 @@ mod tests {
         let init = vec![0, 0, 0, 1, 1, 1, 2, 2];
         let refined = discretize_scaled(&g, &init, 50);
         for j in 0..3 {
-            assert!(refined.iter().any(|&l| l == j), "cluster {j} emptied: {refined:?}");
+            assert!(refined.contains(&j), "cluster {j} emptied: {refined:?}");
         }
     }
 

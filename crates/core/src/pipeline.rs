@@ -87,14 +87,6 @@ pub fn build_view_laplacians(data: &MultiViewDataset, cfg: &GraphConfig) -> Resu
     if data.n() < 2 {
         return Err(UmscError::InvalidInput(format!("need at least 2 points, got {}", data.n())));
     }
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    if cores <= 1 || data.num_views() <= 1 {
-        return Ok(data
-            .views
-            .iter()
-            .map(|x| normalized_laplacian(&view_affinity(x, cfg)))
-            .collect());
-    }
     Ok(build_laplacians_threaded(&data.views, cfg))
 }
 
@@ -111,46 +103,40 @@ pub fn build_view_laplacians_sparse(
     if data.n() < 2 {
         return Err(UmscError::InvalidInput(format!("need at least 2 points, got {}", data.n())));
     }
-    Ok(data
-        .views
-        .iter()
-        .map(|x| {
-            let d = view_distances(x, cfg.metric);
-            let w = match &cfg.kind {
-                GraphKind::Knn { k, bandwidth } => {
-                    let k = (*k).min(d.rows().saturating_sub(1)).max(1);
-                    knn_affinity(&d, k, bandwidth)
-                }
-                GraphKind::Epsilon { epsilon, bandwidth } => {
-                    umsc_graph::epsilon_affinity(&d, *epsilon, bandwidth)
-                }
-                GraphKind::Dense(bw) => {
-                    umsc_graph::CsrMatrix::from_dense(&gaussian_affinity(&d, bw), 1e-12)
-                }
-                GraphKind::Adaptive { k } => {
-                    let k = (*k).min(d.rows().saturating_sub(1)).max(1);
-                    umsc_graph::CsrMatrix::from_dense(&adaptive_neighbor_affinity(&d, k), 1e-12)
-                }
-            };
-            umsc_graph::normalized_laplacian_sparse(&w)
-        })
-        .collect())
+    Ok(umsc_rt::par::parallel_map(&data.views, |_, x| {
+        let d = view_distances(x, cfg.metric);
+        let w = match &cfg.kind {
+            GraphKind::Knn { k, bandwidth } => {
+                let k = (*k).min(d.rows().saturating_sub(1)).max(1);
+                knn_affinity(&d, k, bandwidth)
+            }
+            GraphKind::Epsilon { epsilon, bandwidth } => {
+                umsc_graph::epsilon_affinity(&d, *epsilon, bandwidth)
+            }
+            GraphKind::Dense(bw) => {
+                umsc_graph::CsrMatrix::from_dense(&gaussian_affinity(&d, bw), 1e-12)
+            }
+            GraphKind::Adaptive { k } => {
+                let k = (*k).min(d.rows().saturating_sub(1)).max(1);
+                umsc_graph::CsrMatrix::from_dense(&adaptive_neighbor_affinity(&d, k), 1e-12)
+            }
+        };
+        umsc_graph::normalized_laplacian_sparse(&w)
+    }))
 }
 
-/// Always-threaded variant (exposed for the determinism test; production
-/// callers use [`build_view_laplacians`], which picks a path by core
-/// count).
+/// Per-view Laplacian construction on up to `umsc_rt::par::max_threads()`
+/// threads (views are independent; output order — and therefore every
+/// downstream number — is identical to a sequential loop).
 pub fn build_laplacians_threaded(views: &[Matrix], cfg: &GraphConfig) -> Vec<Matrix> {
-    std::thread::scope(|s| {
-        let handles: Vec<_> = views
-            .iter()
-            .map(|x| s.spawn(move || normalized_laplacian(&view_affinity(x, cfg))))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("view graph worker panicked"))
-            .collect()
-    })
+    umsc_rt::par::parallel_map(views, |_, x| normalized_laplacian(&view_affinity(x, cfg)))
+}
+
+/// [`build_laplacians_threaded`] with an explicit thread count — used by
+/// the determinism test (forcing parallelism on single-core machines) and
+/// the speedup bench.
+pub fn build_laplacians_threaded_with(threads: usize, views: &[Matrix], cfg: &GraphConfig) -> Vec<Matrix> {
+    umsc_rt::par::parallel_map_with(threads, views, |_, x| normalized_laplacian(&view_affinity(x, cfg)))
 }
 
 /// Dimension threshold above which the spectral embedding switches from
@@ -329,10 +315,16 @@ mod tests {
             .iter()
             .map(|x| umsc_graph::normalized_laplacian(&view_affinity(x, &cfg)))
             .collect();
-        let threaded = build_laplacians_threaded(&data.views, &cfg);
-        assert_eq!(sequential.len(), threaded.len());
-        for (a, b) in sequential.iter().zip(threaded.iter()) {
-            assert!(a.approx_eq(b, 0.0), "threaded graph differs bit-for-bit");
+        // Force real parallelism (more threads than this machine may have),
+        // plus the implicit path.
+        for threaded in [
+            build_laplacians_threaded_with(4, &data.views, &cfg),
+            build_laplacians_threaded(&data.views, &cfg),
+        ] {
+            assert_eq!(sequential.len(), threaded.len());
+            for (a, b) in sequential.iter().zip(threaded.iter()) {
+                assert!(a.approx_eq(b, 0.0), "threaded graph differs bit-for-bit");
+            }
         }
     }
 

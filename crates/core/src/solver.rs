@@ -138,7 +138,7 @@ impl Umsc {
                     laplacians.len()
                 )));
             }
-            if w.iter().any(|&x| !(x >= 0.0) || !x.is_finite()) {
+            if w.iter().any(|&x| !x.is_finite() || x < 0.0) {
                 return Err(UmscError::InvalidInput("fixed weights must be finite and non-negative".into()));
             }
             if w.iter().sum::<f64>() <= 0.0 {
@@ -433,8 +433,8 @@ pub fn init_rotation(f: &Matrix) -> Result<Matrix> {
     let mut score = vec![0.0f64; n];
     for k in 1..c {
         let prev = r.col(k - 1);
-        for i in 0..n {
-            score[i] += umsc_linalg::ops::dot(rows.row(i), &prev).abs();
+        for (i, sc) in score.iter_mut().enumerate() {
+            *sc += umsc_linalg::ops::dot(rows.row(i), &prev).abs();
         }
         let pick = umsc_linalg::ops::argmin(&score).unwrap_or(0);
         r.set_col(k, rows.row(pick));
@@ -669,7 +669,7 @@ mod tests {
             assert_eq!(res.labels.len(), data.n());
             // All clusters used (repair guarantees non-empty).
             for j in 0..3 {
-                assert!(res.labels.iter().any(|&l| l == j), "λ={lambda}: cluster {j} empty");
+                assert!(res.labels.contains(&j), "λ={lambda}: cluster {j} empty");
             }
         }
     }

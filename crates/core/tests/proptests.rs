@@ -3,10 +3,11 @@
 //! F, orthogonal R, indicator Y with no empty clusters), a monotone
 //! objective, normalized weights, and deterministic output.
 
-use proptest::prelude::*;
 use umsc_core::{Discretization, Umsc, UmscConfig};
 use umsc_data::synth::{MultiViewGmm, ViewSpec};
 use umsc_linalg::Matrix;
+use umsc_rt::check::{check, Config};
+use umsc_rt::{ensure, Rng, Shrink};
 
 #[derive(Debug, Clone)]
 struct Scenario {
@@ -18,23 +19,28 @@ struct Scenario {
     lambda: f64,
 }
 
-fn scenario() -> impl Strategy<Value = Scenario> {
-    (
-        2usize..5,
-        6usize..14,
-        prop::collection::vec(2usize..12, 1..4),
-        2.0f64..8.0,
-        0u64..1000,
-        0.01f64..10.0,
-    )
-        .prop_map(|(c, per_cluster, dims, separation, seed, lambda)| Scenario {
-            c,
-            per_cluster,
-            dims,
-            separation,
-            seed,
-            lambda,
-        })
+// Shrunk scenarios would leave the generator's support (c < 2, no views);
+// report counterexamples as-is.
+impl Shrink for Scenario {
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+fn cases(n: usize) -> Config {
+    Config::cases(n)
+}
+
+fn scenario(rng: &mut Rng) -> Scenario {
+    let n_dims = rng.gen_range(1..4);
+    Scenario {
+        c: rng.gen_range(2..5),
+        per_cluster: rng.gen_range(6..14),
+        dims: (0..n_dims).map(|_| rng.gen_range(2..12)).collect(),
+        separation: rng.gen_range_f64(2.0, 8.0),
+        seed: rng.gen_range(0..1000) as u64,
+        lambda: rng.gen_range_f64(0.01, 10.0),
+    }
 }
 
 fn generate(s: &Scenario) -> umsc_data::MultiViewDataset {
@@ -48,43 +54,41 @@ fn generate(s: &Scenario) -> umsc_data::MultiViewDataset {
     cfg.generate(s.seed)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn solver_invariants(s in scenario()) {
-        let data = generate(&s);
+#[test]
+fn solver_invariants() {
+    check(&cases(24), scenario, |s| {
+        let data = generate(s);
         let cfg = UmscConfig::new(s.c).with_lambda(s.lambda).with_seed(s.seed);
         let res = Umsc::new(cfg).fit(&data).unwrap();
         let n = data.n();
         let c = s.c;
 
         // Labels valid and every cluster inhabited (n ≥ c by construction).
-        prop_assert_eq!(res.labels.len(), n);
+        ensure!(res.labels.len() == n);
         for j in 0..c {
-            prop_assert!(res.labels.iter().any(|&l| l == j), "cluster {} empty", j);
+            ensure!(res.labels.contains(&j), "cluster {j} empty");
         }
 
         // F orthonormal columns; R orthogonal.
         let ftf = res.embedding.matmul_transpose_a(&res.embedding);
-        prop_assert!(ftf.approx_eq(&Matrix::identity(c), 1e-7));
+        ensure!(ftf.approx_eq(&Matrix::identity(c), 1e-7));
         let rtr = res.rotation.matmul_transpose_a(&res.rotation);
-        prop_assert!(rtr.approx_eq(&Matrix::identity(c), 1e-7));
+        ensure!(rtr.approx_eq(&Matrix::identity(c), 1e-7));
 
         // Y is the indicator of `labels`.
         for (i, &l) in res.labels.iter().enumerate() {
-            prop_assert_eq!(res.indicator.row(i)[l], 1.0);
-            prop_assert_eq!(res.indicator.row(i).iter().sum::<f64>(), 1.0);
+            ensure!(res.indicator.row(i)[l] == 1.0);
+            ensure!(res.indicator.row(i).iter().sum::<f64>() == 1.0);
         }
 
         // Weights: normalized, non-negative.
-        prop_assert!((res.view_weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
-        prop_assert!(res.view_weights.iter().all(|&w| w >= 0.0));
-        prop_assert_eq!(res.view_weights.len(), data.num_views());
+        ensure!((res.view_weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        ensure!(res.view_weights.iter().all(|&w| w >= 0.0));
+        ensure!(res.view_weights.len() == data.num_views());
 
         // Objective monotone non-increasing.
         for w in res.history.windows(2) {
-            prop_assert!(
+            ensure!(
                 w[1].objective <= w[0].objective + 1e-6 * (1.0 + w[0].objective.abs()),
                 "objective rose {} -> {}",
                 w[0].objective,
@@ -93,32 +97,43 @@ proptest! {
         }
         // Objective terms consistent.
         for s in &res.history {
-            prop_assert!((s.objective - (s.embedding_term + s.rotation_term)).abs() < 1e-9);
-            prop_assert!(s.rotation_term >= 0.0);
+            ensure!((s.objective - (s.embedding_term + s.rotation_term)).abs() < 1e-9);
+            ensure!(s.rotation_term >= 0.0);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn deterministic(s in scenario()) {
-        let data = generate(&s);
-        let mk = || Umsc::new(UmscConfig::new(s.c).with_lambda(s.lambda).with_seed(s.seed)).fit(&data).unwrap();
+#[test]
+fn deterministic() {
+    check(&cases(24), scenario, |s| {
+        let data = generate(s);
+        let mk = || {
+            Umsc::new(UmscConfig::new(s.c).with_lambda(s.lambda).with_seed(s.seed))
+                .fit(&data)
+                .unwrap()
+        };
         let a = mk();
         let b = mk();
-        prop_assert_eq!(a.labels, b.labels);
-        prop_assert!(a.embedding.approx_eq(&b.embedding, 0.0));
-    }
+        ensure!(a.labels == b.labels);
+        ensure!(a.embedding.approx_eq(&b.embedding, 0.0));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn two_stage_also_valid(s in scenario()) {
-        let data = generate(&s);
+#[test]
+fn two_stage_also_valid() {
+    check(&cases(24), scenario, |s| {
+        let data = generate(s);
         let cfg = UmscConfig::new(s.c)
             .with_discretization(Discretization::KMeans { restarts: 3 })
             .with_seed(s.seed);
         let res = Umsc::new(cfg).fit(&data).unwrap();
-        prop_assert_eq!(res.labels.len(), data.n());
-        prop_assert!(res.labels.iter().all(|&l| l < s.c));
+        ensure!(res.labels.len() == data.n());
+        ensure!(res.labels.iter().all(|&l| l < s.c));
         for w in res.history.windows(2) {
-            prop_assert!(w[1].objective <= w[0].objective + 1e-6 * (1.0 + w[0].objective.abs()));
+            ensure!(w[1].objective <= w[0].objective + 1e-6 * (1.0 + w[0].objective.abs()));
         }
-    }
+        Ok(())
+    });
 }

@@ -102,15 +102,9 @@ impl MultiViewDataset {
     /// Panics if `v` is out of range.
     pub fn corrupt_view(&mut self, v: usize, noise_std: f64, seed: u64) {
         assert!(v < self.views.len(), "corrupt_view: view {v} out of range");
-        use rand::{RngExt, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = umsc_rt::Rng::from_seed(seed);
         let (n, d) = self.views[v].shape();
-        self.views[v] = Matrix::from_fn(n, d, |_, _| {
-            // Box–Muller from two uniforms.
-            let u1: f64 = rng.random::<f64>().max(1e-12);
-            let u2: f64 = rng.random();
-            noise_std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-        });
+        self.views[v] = Matrix::from_fn(n, d, |_, _| noise_std * rng.normal());
     }
 
     /// Sub-samples the dataset to roughly `max_n` points (stratified by
@@ -120,16 +114,14 @@ impl MultiViewDataset {
         if self.n() <= max_n {
             return self.clone();
         }
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = umsc_rt::Rng::from_seed(seed);
         // Group indices by class, shuffle within class.
         let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); self.num_clusters];
         for (i, &l) in self.labels.iter().enumerate() {
             by_class[l].push(i);
         }
         for c in &mut by_class {
-            c.shuffle(&mut rng);
+            rng.shuffle(c);
         }
         // Proportional allocation with a per-class floor: below ~k points a
         // k-NN graph cannot represent a cluster at all, so heavy

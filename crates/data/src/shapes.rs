@@ -5,9 +5,8 @@
 //! and back the "quickstart" and "noisy view" examples.
 
 use crate::MultiViewDataset;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use umsc_linalg::Matrix;
+use umsc_rt::Rng;
 
 /// Two interleaved half-moons observed through multiple views.
 ///
@@ -20,7 +19,7 @@ use umsc_linalg::Matrix;
 /// `n` points total (split evenly), `noise` is the coordinate jitter.
 pub fn two_moons_multiview(n: usize, noise: f64, seed: u64) -> MultiViewDataset {
     assert!(n >= 4, "two_moons_multiview: need n >= 4");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::from_seed(seed);
     let half = n / 2;
     let mut base = Vec::with_capacity(n);
     let mut labels = Vec::with_capacity(n);
@@ -35,7 +34,8 @@ pub fn two_moons_multiview(n: usize, noise: f64, seed: u64) -> MultiViewDataset 
         } else {
             (1.0 - t.cos(), 0.5 - t.sin())
         };
-        base.push(vec![x + noise * normal(&mut rng), y + noise * normal(&mut rng)]);
+        let (nx, ny) = (rng.normal(), rng.normal());
+        base.push(vec![x + noise * nx, y + noise * ny]);
         labels.push(label);
     }
     let view0 = Matrix::from_rows(&base);
@@ -79,7 +79,7 @@ pub fn two_moons_multiview(n: usize, noise: f64, seed: u64) -> MultiViewDataset 
 /// `n = per_ring · c·(c+1)/2`.
 pub fn rings_multiview(c: usize, per_ring: usize, noise: f64, seed: u64) -> MultiViewDataset {
     assert!(c >= 1 && per_ring >= 3, "rings_multiview: need c >= 1, per_ring >= 3");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::from_seed(seed);
     let n = per_ring * c * (c + 1) / 2;
     let mut cart = Vec::with_capacity(n);
     let mut labels = Vec::with_capacity(n);
@@ -88,7 +88,8 @@ pub fn rings_multiview(c: usize, per_ring: usize, noise: f64, seed: u64) -> Mult
         let count = per_ring * (ring + 1);
         for i in 0..count {
             let a = 2.0 * std::f64::consts::PI * i as f64 / count as f64;
-            cart.push(vec![r * a.cos() + noise * normal(&mut rng), r * a.sin() + noise * normal(&mut rng)]);
+            let (nx, ny) = (rng.normal(), rng.normal());
+            cart.push(vec![r * a.cos() + noise * nx, r * a.sin() + noise * ny]);
             labels.push(ring);
         }
     }
@@ -101,12 +102,6 @@ pub fn rings_multiview(c: usize, per_ring: usize, noise: f64, seed: u64) -> Mult
         }
     });
     MultiViewDataset { name: "rings-mv".into(), views: vec![view0, view1], labels, num_clusters: c }
-}
-
-fn normal(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.random::<f64>().max(1e-12);
-    let u2: f64 = rng.random();
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
 #[cfg(test)]

@@ -18,9 +18,8 @@
 //! Every sample is deterministic in the seed.
 
 use crate::MultiViewDataset;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use umsc_linalg::Matrix;
+use umsc_rt::Rng;
 
 /// Feature-map family of a view.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,7 +95,7 @@ impl MultiViewGmm {
         assert!(self.cluster_sizes.iter().all(|&s| s >= 1), "MultiViewGmm: empty cluster size");
         assert!(!self.views.is_empty(), "MultiViewGmm: need at least one view");
         let n: usize = self.cluster_sizes.iter().sum();
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::from_seed(seed);
 
         // Latent cluster centers with a *guaranteed* minimum pairwise
         // distance of `separation` (in units of the within-cluster std):
@@ -109,7 +108,7 @@ impl MultiViewGmm {
             let mut best: Option<(f64, Vec<f64>)> = None;
             for _attempt in 0..100 {
                 let cand: Vec<f64> = (0..self.latent_dim)
-                    .map(|_| self.separation / (2.0f64).sqrt() * normal(&mut rng))
+                    .map(|_| self.separation / (2.0f64).sqrt() * rng.normal())
                     .collect();
                 let min_dist = (0..k)
                     .map(|j| {
@@ -140,7 +139,7 @@ impl MultiViewGmm {
         // Latent points: center + unit noise. Kept per view (label noise can
         // resample the latent from another cluster in one view only).
         let base_latents = Matrix::from_fn(n, self.latent_dim, |i, j| {
-            centers[(labels[i], j)] + normal(&mut rng)
+            centers[(labels[i], j)] + rng.normal()
         });
 
         let views = self
@@ -158,7 +157,7 @@ impl MultiViewGmm {
         centers: &Matrix,
         base_latents: &Matrix,
         labels: &[usize],
-        rng: &mut StdRng,
+        rng: &mut Rng,
     ) -> Matrix {
         let n = labels.len();
         let c = centers.rows();
@@ -167,9 +166,9 @@ impl MultiViewGmm {
         // signal, optionally swapping in a wrong-cluster center.
         let mut latents = Matrix::zeros(n, ld);
         for i in 0..n {
-            let swap = spec.label_noise > 0.0 && rng.random::<f64>() < spec.label_noise && c > 1;
+            let swap = spec.label_noise > 0.0 && rng.next_f64() < spec.label_noise && c > 1;
             let eff_label = if swap {
-                let mut other = rng.random_range(0..c - 1);
+                let mut other = rng.gen_range(0..c - 1);
                 if other >= labels[i] {
                     other += 1;
                 }
@@ -185,7 +184,7 @@ impl MultiViewGmm {
 
         // Random observation map, column-normalized so feature scale is
         // insensitive to `dim`.
-        let map = Matrix::from_fn(ld, spec.dim, |_, _| normal(rng) / (ld as f64).sqrt());
+        let map = Matrix::from_fn(ld, spec.dim, |_, _| rng.normal() / (ld as f64).sqrt());
         let mut x = latents.matmul(&map);
 
         // Feature-map family + additive noise.
@@ -200,7 +199,7 @@ impl MultiViewGmm {
         if spec.noise_std > 0.0 {
             for i in 0..n {
                 for v in x.row_mut(i) {
-                    *v += spec.noise_std * normal(rng);
+                    *v += spec.noise_std * rng.normal();
                 }
             }
             if spec.kind == ViewKind::Text {
@@ -210,13 +209,6 @@ impl MultiViewGmm {
         }
         x
     }
-}
-
-/// Standard normal via Box–Muller (one value per call; simple and adequate).
-fn normal(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.random::<f64>().max(1e-12);
-    let u2: f64 = rng.random();
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
 #[cfg(test)]

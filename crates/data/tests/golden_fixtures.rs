@@ -1,0 +1,63 @@
+//! Golden seed fixtures for the synthetic generators.
+//!
+//! The generators are the reproducibility anchor of every experiment in the
+//! workspace: a seed must map to the same dataset forever. These values were
+//! pinned after the migration from the external `rand` crate to the in-tree
+//! `umsc_rt::Rng` (xoshiro256** seeded via splitmix64), and any change to
+//! the PRNG stream, Box–Muller sampling, or generator call order shows up
+//! here as an exact-equality failure. If a change to the stream is ever
+//! *intended*, re-pin per DESIGN.md § "Hermetic build".
+
+use umsc_data::synth::{MultiViewGmm, ViewSpec};
+
+fn golden() -> umsc_data::MultiViewDataset {
+    MultiViewGmm::new("golden", 3, 5, vec![ViewSpec::clean(4), ViewSpec::clean(2)]).generate(42)
+}
+
+#[test]
+fn seed_42_pins_exact_feature_values() {
+    let d = golden();
+    assert_eq!(d.labels, vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 2, 2, 2, 2, 2]);
+    let v0 = &d.views[0];
+    let v1 = &d.views[1];
+    assert_eq!(v0.shape(), (15, 4));
+    assert_eq!(v1.shape(), (15, 2));
+
+    // Spot entries across both views, bitwise-exact.
+    assert_eq!(v0[(0, 0)], -2.243178841577408);
+    assert_eq!(v0[(0, 3)], 2.5550314361457747);
+    assert_eq!(v0[(7, 2)], 2.1311941837810773);
+    assert_eq!(v0[(14, 1)], 2.5929942401821777);
+    assert_eq!(v1[(0, 0)], -7.459501823180309);
+    assert_eq!(v1[(7, 1)], -0.7128825666688372);
+    assert_eq!(v1[(14, 0)], -0.9515137722049276);
+
+    // Whole-matrix checksums catch drift the spot checks miss.
+    let s0: f64 = v0.as_slice().iter().sum();
+    let s1: f64 = v1.as_slice().iter().sum();
+    assert_eq!(s0, -26.325372757979046);
+    assert_eq!(s1, -26.01903940411435);
+}
+
+#[test]
+fn corruption_and_subsampling_stay_on_the_pinned_stream() {
+    // corrupt_view and subsample consume their own seeded streams; pin their
+    // observable effects so the migration of those paths is covered too.
+    let mut d = golden();
+    d.corrupt_view(1, 0.5, 7);
+    assert_eq!(d.views[0][(0, 0)], -2.243178841577408, "untouched view must not drift");
+    assert!(d.validate().is_ok());
+
+    let base = golden();
+    assert_ne!(
+        d.views[1].as_slice(),
+        base.views[1].as_slice(),
+        "corruption must replace the target view"
+    );
+
+    let s = base.subsample(9, 3);
+    assert!(s.validate().is_ok());
+    let again = golden().subsample(9, 3);
+    assert_eq!(s.labels, again.labels, "subsample must be deterministic in seed");
+    assert!(s.views[0].approx_eq(&again.views[0], 0.0));
+}

@@ -2,9 +2,10 @@
 //! arbitrary configurations, determinism, corruption/subsampling
 //! invariants, and the latent-separation contract.
 
-use proptest::prelude::*;
 use umsc_data::synth::{MultiViewGmm, ViewKind, ViewSpec};
 use umsc_data::{benchmark, BenchmarkId};
+use umsc_rt::check::{check, Config};
+use umsc_rt::{ensure, Rng, Shrink};
 
 #[derive(Debug, Clone)]
 struct Cfg {
@@ -14,14 +15,27 @@ struct Cfg {
     seed: u64,
 }
 
-fn cfg() -> impl Strategy<Value = Cfg> {
-    (
-        prop::collection::vec(2usize..20, 1..5),
-        prop::collection::vec((1usize..25, 0u8..3), 1..4),
-        1.0f64..8.0,
-        0u64..10_000,
-    )
-        .prop_map(|(sizes, views, separation, seed)| Cfg { sizes, views, separation, seed })
+// Shrinking a Cfg would produce configurations outside the generator's
+// support (empty clusters, zero views); report counterexamples as-is.
+impl Shrink for Cfg {
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+fn cases(n: usize) -> Config {
+    Config::cases(n)
+}
+
+fn gen_cfg(rng: &mut Rng) -> Cfg {
+    let n_sizes = rng.gen_range(1..5);
+    let n_views = rng.gen_range(1..4);
+    Cfg {
+        sizes: (0..n_sizes).map(|_| rng.gen_range(2..20)).collect(),
+        views: (0..n_views).map(|_| (rng.gen_range(1..25), rng.gen_range(0..3) as u8)).collect(),
+        separation: rng.gen_range_f64(1.0, 8.0),
+        seed: rng.gen_range(0..10_000) as u64,
+    }
 }
 
 fn build(c: &Cfg) -> MultiViewGmm {
@@ -48,66 +62,88 @@ fn build(c: &Cfg) -> MultiViewGmm {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn generated_datasets_always_valid(c in cfg()) {
-        let d = build(&c).generate(c.seed);
-        prop_assert!(d.validate().is_ok(), "{:?}", d.validate());
-        prop_assert_eq!(d.n(), c.sizes.iter().sum::<usize>());
-        prop_assert_eq!(d.num_clusters, c.sizes.len());
-        prop_assert_eq!(d.view_dims(), c.views.iter().map(|v| v.0).collect::<Vec<_>>());
+#[test]
+fn generated_datasets_always_valid() {
+    check(&cases(32), gen_cfg, |c| {
+        let d = build(c).generate(c.seed);
+        ensure!(d.validate().is_ok(), "{:?}", d.validate());
+        ensure!(d.n() == c.sizes.iter().sum::<usize>());
+        ensure!(d.num_clusters == c.sizes.len());
+        ensure!(d.view_dims() == c.views.iter().map(|v| v.0).collect::<Vec<_>>());
         // Per-cluster counts match the requested sizes.
         for (k, &s) in c.sizes.iter().enumerate() {
-            prop_assert_eq!(d.labels.iter().filter(|&&l| l == k).count(), s);
+            ensure!(d.labels.iter().filter(|&&l| l == k).count() == s);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn deterministic_and_seed_sensitive(c in cfg()) {
-        let a = build(&c).generate(c.seed);
-        let b = build(&c).generate(c.seed);
+#[test]
+fn deterministic_and_seed_sensitive() {
+    check(&cases(32), gen_cfg, |c| {
+        let a = build(c).generate(c.seed);
+        let b = build(c).generate(c.seed);
         for (x, y) in a.views.iter().zip(b.views.iter()) {
-            prop_assert!(x.approx_eq(y, 0.0));
+            ensure!(x.approx_eq(y, 0.0));
         }
-        let other = build(&c).generate(c.seed.wrapping_add(1));
+        let other = build(c).generate(c.seed.wrapping_add(1));
         // Different seed gives different features (n*d > 0 always here).
-        prop_assert!(!a.views[0].approx_eq(&other.views[0], 1e-12));
-    }
+        ensure!(!a.views[0].approx_eq(&other.views[0], 1e-12));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn text_views_nonnegative(c in cfg()) {
-        let d = build(&c).generate(c.seed);
-        for (spec, view) in build(&c).views.iter().zip(d.views.iter()) {
+#[test]
+fn text_views_nonnegative() {
+    check(&cases(32), gen_cfg, |c| {
+        let d = build(c).generate(c.seed);
+        for (spec, view) in build(c).views.iter().zip(d.views.iter()) {
             if spec.kind == ViewKind::Text {
-                prop_assert!(view.as_slice().iter().all(|&v| v >= 0.0));
+                ensure!(view.as_slice().iter().all(|&v| v >= 0.0));
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn corruption_only_touches_target_view(c in cfg(), noise in 0.1f64..2.0) {
-        prop_assume!(c.views.len() >= 2);
-        let base = build(&c).generate(c.seed);
-        let mut corrupted = base.clone();
-        corrupted.corrupt_view(1, noise, 42);
-        prop_assert!(corrupted.views[0].approx_eq(&base.views[0], 0.0));
-        prop_assert!(!corrupted.views[1].approx_eq(&base.views[1], 1e-12));
-        prop_assert!(corrupted.validate().is_ok());
-    }
+#[test]
+fn corruption_only_touches_target_view() {
+    check(
+        &cases(32),
+        |rng| (gen_cfg(rng), rng.gen_range_f64(0.1, 2.0)),
+        |(c, noise)| {
+            if c.views.len() < 2 {
+                return Ok(()); // corruption contract needs an untouched view
+            }
+            let base = build(c).generate(c.seed);
+            let mut corrupted = base.clone();
+            corrupted.corrupt_view(1, *noise, 42);
+            ensure!(corrupted.views[0].approx_eq(&base.views[0], 0.0));
+            ensure!(!corrupted.views[1].approx_eq(&base.views[1], 1e-12));
+            ensure!(corrupted.validate().is_ok());
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn subsample_contract(cap in 10usize..100, seed in 0u64..100) {
-        let d = benchmark(BenchmarkId::Msrcv1, seed);
-        let s = d.subsample(cap, seed);
-        prop_assert!(s.validate().is_ok(), "{:?}", s.validate());
-        prop_assert!(s.n() <= cap + s.num_clusters, "n = {} for cap {cap}", s.n());
-        prop_assert_eq!(s.num_views(), d.num_views());
-        prop_assert_eq!(s.num_clusters, d.num_clusters);
-        // Every cluster still inhabited.
-        for k in 0..s.num_clusters {
-            prop_assert!(s.labels.iter().any(|&l| l == k));
-        }
-    }
+#[test]
+fn subsample_contract() {
+    check(
+        &cases(32),
+        |rng| (rng.gen_range(10..100), rng.gen_range(0..100) as u64),
+        |(cap, seed)| {
+            let cap = *cap;
+            let d = benchmark(BenchmarkId::Msrcv1, *seed);
+            let s = d.subsample(cap, *seed);
+            ensure!(s.validate().is_ok(), "{:?}", s.validate());
+            ensure!(s.n() <= cap + s.num_clusters, "n = {} for cap {cap}", s.n());
+            ensure!(s.num_views() == d.num_views());
+            ensure!(s.num_clusters == d.num_clusters);
+            // Every cluster still inhabited.
+            for k in 0..s.num_clusters {
+                ensure!(s.labels.contains(&k));
+            }
+            Ok(())
+        },
+    );
 }

@@ -57,10 +57,10 @@ pub fn select_anchors(x: &Matrix, m: usize, seed: u64) -> Matrix {
             pick
         };
         anchors.row_mut(j).copy_from_slice(x.row(pick));
-        for i in 0..n {
+        for (i, md) in min_dist.iter_mut().enumerate() {
             let dist = umsc_linalg::ops::sq_dist(x.row(i), anchors.row(j));
-            if dist < min_dist[i] {
-                min_dist[i] = dist;
+            if dist < *md {
+                *md = dist;
             }
         }
     }

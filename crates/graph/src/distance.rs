@@ -7,21 +7,41 @@
 
 use umsc_linalg::Matrix;
 
+/// Row count below which the post-GEMM fill stays sequential (the fill is
+/// O(n²) cheap arithmetic; threading pays off only on large matrices).
+const PAR_ROW_THRESHOLD: usize = 256;
+
 /// Pairwise **squared** Euclidean distances between the rows of `x`.
 ///
 /// Returns a symmetric `n × n` matrix with an exactly-zero diagonal.
+/// Large inputs are threaded; see [`pairwise_sq_distances_with_threads`].
 pub fn pairwise_sq_distances(x: &Matrix) -> Matrix {
+    let t = if x.rows() >= PAR_ROW_THRESHOLD { umsc_rt::par::max_threads() } else { 1 };
+    pairwise_sq_distances_with_threads(t, x)
+}
+
+/// [`pairwise_sq_distances`] with an explicit thread count.
+///
+/// Each output row is filled whole by one thread: `d[i][j]` depends only
+/// on the norms and on `gram[i][j]`, and the Gram matrix is bitwise
+/// symmetric (dot products commute term-by-term), so the result is both
+/// bitwise symmetric and bitwise-identical for every thread count.
+pub fn pairwise_sq_distances_with_threads(threads: usize, x: &Matrix) -> Matrix {
     let n = x.rows();
     let sq_norms: Vec<f64> = (0..n).map(|i| umsc_linalg::ops::dot(x.row(i), x.row(i))).collect();
-    let gram = x.matmul_transpose_b(x);
+    let gram = x.matmul_transpose_b_with_threads(threads, x);
     let mut d = Matrix::zeros(n, n);
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let v = (sq_norms[i] + sq_norms[j] - 2.0 * gram[(i, j)]).max(0.0);
-            d[(i, j)] = v;
-            d[(j, i)] = v;
-        }
+    if n == 0 {
+        return d;
     }
+    umsc_rt::par::parallel_chunks_mut_with(threads, d.as_mut_slice(), n, |i, drow| {
+        let grow = gram.row(i);
+        for (j, out) in drow.iter_mut().enumerate() {
+            if j != i {
+                *out = (sq_norms[i] + sq_norms[j] - 2.0 * grow[j]).max(0.0);
+            }
+        }
+    });
     d
 }
 
@@ -30,22 +50,31 @@ pub fn pairwise_sq_distances(x: &Matrix) -> Matrix {
 /// Zero rows are treated as maximally distant (distance 1) from everything,
 /// including other zero rows — a safe convention for sparse text views.
 pub fn cosine_distance_matrix(x: &Matrix) -> Matrix {
+    let t = if x.rows() >= PAR_ROW_THRESHOLD { umsc_rt::par::max_threads() } else { 1 };
+    cosine_distance_matrix_with_threads(t, x)
+}
+
+/// [`cosine_distance_matrix`] with an explicit thread count; bitwise
+/// deterministic for the same reason as
+/// [`pairwise_sq_distances_with_threads`].
+pub fn cosine_distance_matrix_with_threads(threads: usize, x: &Matrix) -> Matrix {
     let n = x.rows();
     let norms: Vec<f64> = (0..n).map(|i| umsc_linalg::ops::norm2(x.row(i))).collect();
-    let gram = x.matmul_transpose_b(x);
+    let gram = x.matmul_transpose_b_with_threads(threads, x);
     let mut d = Matrix::zeros(n, n);
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let denom = norms[i] * norms[j];
-            let v = if denom > 0.0 {
-                (1.0 - gram[(i, j)] / denom).clamp(0.0, 2.0)
-            } else {
-                1.0
-            };
-            d[(i, j)] = v;
-            d[(j, i)] = v;
-        }
+    if n == 0 {
+        return d;
     }
+    umsc_rt::par::parallel_chunks_mut_with(threads, d.as_mut_slice(), n, |i, drow| {
+        let grow = gram.row(i);
+        for (j, out) in drow.iter_mut().enumerate() {
+            if j == i {
+                continue;
+            }
+            let denom = norms[i] * norms[j];
+            *out = if denom > 0.0 { (1.0 - grow[j] / denom).clamp(0.0, 2.0) } else { 1.0 };
+        }
+    });
     d
 }
 
@@ -96,6 +125,31 @@ mod tests {
         assert!((d[(0, 3)] - 2.0).abs() < 1e-12, "anti-parallel → 2");
         assert_eq!(d[(0, 4)], 1.0, "zero row convention");
         assert!(d.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn threaded_distances_are_bitwise_identical() {
+        let mut rng = umsc_rt::Rng::from_seed(77);
+        // Odd n so row blocks split unevenly; one zero row for the cosine
+        // convention branch.
+        let x = Matrix::from_fn(53, 7, |i, _| if i == 13 { 0.0 } else { rng.normal() });
+        let seq_e = pairwise_sq_distances_with_threads(1, &x);
+        let seq_c = cosine_distance_matrix_with_threads(1, &x);
+        for t in [2, 3, 4, 8] {
+            let par_e = pairwise_sq_distances_with_threads(t, &x);
+            let par_c = cosine_distance_matrix_with_threads(t, &x);
+            assert_eq!(seq_e.as_slice(), par_e.as_slice(), "euclidean differs at {t} threads");
+            assert_eq!(seq_c.as_slice(), par_c.as_slice(), "cosine differs at {t} threads");
+        }
+        // Implicit entry points agree with the forced-sequential reference.
+        assert_eq!(pairwise_sq_distances(&x).as_slice(), seq_e.as_slice());
+        assert_eq!(cosine_distance_matrix(&x).as_slice(), seq_c.as_slice());
+        // Full-row computation must still be exactly symmetric.
+        assert!(seq_e.is_symmetric(0.0));
+        assert!(seq_c.is_symmetric(0.0));
+        for i in 0..x.rows() {
+            assert_eq!(seq_e[(i, i)], 0.0);
+        }
     }
 
     #[test]

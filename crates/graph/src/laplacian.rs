@@ -171,6 +171,52 @@ mod tests {
     }
 
     #[test]
+    fn isolated_vertex_laplacian_eigensolves_without_nan() {
+        // An all-zero affinity row (vertex 5 isolated from a 5-cycle plus a
+        // second isolated vertex 6) must yield a normalized Laplacian whose
+        // eigensolves are NaN-free: d^{-1/2} = 0 for zero degree leaves the
+        // isolated row/column at the identity's values, so the isolated
+        // vertices contribute exact eigenvalue-1 directions.
+        let n = 7;
+        let mut w = Matrix::zeros(n, n);
+        for i in 0..5 {
+            let j = (i + 1) % 5;
+            w[(i, j)] = 1.0;
+            w[(j, i)] = 1.0;
+        }
+        let l = normalized_laplacian(&w);
+        assert!(l.as_slice().iter().all(|v| v.is_finite()), "Laplacian has non-finite entries");
+        for v in [5, 6] {
+            assert_eq!(l[(v, v)], 1.0);
+            for j in 0..n {
+                if j != v {
+                    assert_eq!(l[(v, j)], 0.0);
+                    assert_eq!(l[(j, v)], 0.0);
+                }
+            }
+        }
+
+        // Dense eigensolve: finite, PSD, spectrum within [0, 2], and the
+        // zero eigenvalue of the connected component survives.
+        let eig = SymEigen::compute(&l).unwrap();
+        assert!(eig.eigenvalues.iter().all(|v| v.is_finite()), "{:?}", eig.eigenvalues);
+        assert!(eig.eigenvectors.as_slice().iter().all(|v| v.is_finite()));
+        assert!(eig.eigenvalues[0].abs() < 1e-12);
+        assert!(eig.eigenvalues.iter().all(|&v| (-1e-12..=2.0 + 1e-12).contains(&v)));
+        // Eigenvalue 1 appears for each isolated vertex.
+        let ones = eig.eigenvalues.iter().filter(|&&v| (v - 1.0).abs() < 1e-9).count();
+        assert!(ones >= 2, "expected ≥2 unit eigenvalues, spectrum {:?}", eig.eigenvalues);
+
+        // Sparse + Lanczos path on the same graph: also NaN-free.
+        let ws = CsrMatrix::from_dense(&w, 0.0);
+        let ls = normalized_laplacian_sparse(&ws);
+        let (vals, vecs) =
+            umsc_linalg::lanczos_smallest(&ls, 3, &umsc_linalg::LanczosConfig::default()).unwrap();
+        assert!(vals.iter().all(|v| v.is_finite()), "{vals:?}");
+        assert!(vecs.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
     fn random_walk_row_sums_zero_on_connected() {
         let l = random_walk_laplacian(&cycle4());
         for i in 0..4 {

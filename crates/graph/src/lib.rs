@@ -31,7 +31,10 @@ pub use affinity::{
 pub use anchor::{anchor_view_factor, anchor_weights, normalized_factor, select_anchors};
 pub use can::adaptive_neighbor_affinity;
 pub use components::{connected_components, connected_components_sparse, num_components};
-pub use distance::{cosine_distance_matrix, pairwise_sq_distances};
+pub use distance::{
+    cosine_distance_matrix, cosine_distance_matrix_with_threads, pairwise_sq_distances,
+    pairwise_sq_distances_with_threads,
+};
 pub use laplacian::{
     degrees, normalized_laplacian, normalized_laplacian_sparse, random_walk_laplacian,
     unnormalized_laplacian,

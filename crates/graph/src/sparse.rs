@@ -48,7 +48,7 @@ impl CsrMatrix {
             assert!(r < rows && c < cols, "CsrMatrix::from_triplets: index ({r},{c}) out of bounds for {rows}x{cols}");
         }
         let mut sorted: Vec<(usize, usize, f64)> = triplets.to_vec();
-        sorted.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        sorted.sort_by_key(|a| (a.0, a.1));
 
         let mut row_ptr = vec![0usize; rows + 1];
         let mut col_idx = Vec::with_capacity(sorted.len());

@@ -1,28 +1,31 @@
 //! Property tests: distance/affinity/Laplacian invariants on arbitrary
 //! point clouds, and CSR ↔ dense agreement.
 
-use proptest::prelude::*;
 use umsc_graph::{
     adaptive_neighbor_affinity, degrees, gaussian_affinity, normalized_laplacian,
     pairwise_sq_distances, unnormalized_laplacian, Bandwidth, CsrMatrix,
 };
 use umsc_linalg::{Matrix, SymEigen};
+use umsc_rt::check::{check, Config};
+use umsc_rt::{ensure, Rng};
 
-fn points(n: usize, d: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(-10.0f64..10.0, n * d).prop_map(move |v| Matrix::from_vec(n, d, v))
+fn cfg() -> Config {
+    Config::cases(32)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn points(rng: &mut Rng, n: usize, d: usize) -> Matrix {
+    Matrix::from_fn(n, d, |_, _| rng.gen_range_f64(-10.0, 10.0))
+}
 
-    #[test]
-    fn distances_are_a_metric_skeleton(x in points(8, 3)) {
-        let d = pairwise_sq_distances(&x);
-        prop_assert!(d.is_symmetric(1e-9));
+#[test]
+fn distances_are_a_metric_skeleton() {
+    check(&cfg(), |rng| points(rng, 8, 3), |x| {
+        let d = pairwise_sq_distances(x);
+        ensure!(d.is_symmetric(1e-9));
         for i in 0..8 {
-            prop_assert_eq!(d[(i, i)], 0.0);
+            ensure!(d[(i, i)] == 0.0);
             for j in 0..8 {
-                prop_assert!(d[(i, j)] >= 0.0);
+                ensure!(d[(i, j)] >= 0.0);
             }
         }
         // Triangle inequality on the *square roots*.
@@ -30,69 +33,82 @@ proptest! {
             for j in 0..8 {
                 for k in 0..8 {
                     let (a, b, c) = (d[(i, j)].sqrt(), d[(j, k)].sqrt(), d[(i, k)].sqrt());
-                    prop_assert!(c <= a + b + 1e-9);
+                    ensure!(c <= a + b + 1e-9);
                 }
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn affinity_in_unit_interval_and_symmetric(x in points(7, 2)) {
-        let d = pairwise_sq_distances(&x);
+#[test]
+fn affinity_in_unit_interval_and_symmetric() {
+    check(&cfg(), |rng| points(rng, 7, 2), |x| {
+        let d = pairwise_sq_distances(x);
         for bw in [Bandwidth::Global(1.0), Bandwidth::MeanDistance, Bandwidth::SelfTuning { k: 3 }] {
             let w = gaussian_affinity(&d, &bw);
-            prop_assert!(w.is_symmetric(1e-12));
-            prop_assert!(w.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v) && v.is_finite()));
+            ensure!(w.is_symmetric(1e-12));
+            ensure!(w.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v) && v.is_finite()));
             for i in 0..7 {
-                prop_assert_eq!(w[(i, i)], 0.0);
+                ensure!(w[(i, i)] == 0.0);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn laplacians_are_psd_with_zero_eigenvalue(x in points(8, 2)) {
-        let d = pairwise_sq_distances(&x);
+#[test]
+fn laplacians_are_psd_with_zero_eigenvalue() {
+    check(&cfg(), |rng| points(rng, 8, 2), |x| {
+        let d = pairwise_sq_distances(x);
         let w = gaussian_affinity(&d, &Bandwidth::MeanDistance);
         for l in [unnormalized_laplacian(&w), normalized_laplacian(&w)] {
             let eig = SymEigen::compute(&l).unwrap();
-            prop_assert!(eig.eigenvalues[0].abs() < 1e-8, "λ_min = {}", eig.eigenvalues[0]);
-            prop_assert!(eig.eigenvalues.iter().all(|&v| v > -1e-8));
+            ensure!(eig.eigenvalues[0].abs() < 1e-8, "λ_min = {}", eig.eigenvalues[0]);
+            ensure!(eig.eigenvalues.iter().all(|&v| v > -1e-8));
         }
         // Degrees are the row sums.
         let deg = degrees(&w);
         for (i, &g) in deg.iter().enumerate() {
             let s: f64 = w.row(i).iter().sum();
-            prop_assert!((g - s).abs() < 1e-12);
+            ensure!((g - s).abs() < 1e-12);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn can_affinity_valid(x in points(9, 2)) {
-        let d = pairwise_sq_distances(&x);
+#[test]
+fn can_affinity_valid() {
+    check(&cfg(), |rng| points(rng, 9, 2), |x| {
+        let d = pairwise_sq_distances(x);
         let w = adaptive_neighbor_affinity(&d, 3);
-        prop_assert!(w.is_symmetric(1e-12));
-        prop_assert!(w.as_slice().iter().all(|&v| v >= 0.0 && v.is_finite()));
+        ensure!(w.is_symmetric(1e-12));
+        ensure!(w.as_slice().iter().all(|&v| v >= 0.0 && v.is_finite()));
         for i in 0..9 {
-            prop_assert_eq!(w[(i, i)], 0.0);
+            ensure!(w[(i, i)] == 0.0);
             // Each row touches at least one neighbour.
-            prop_assert!(w.row(i).iter().any(|&v| v > 0.0));
+            ensure!(w.row(i).iter().any(|&v| v > 0.0));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn csr_round_trips_dense(v in prop::collection::vec(-3.0f64..3.0, 30)) {
-        let m = Matrix::from_vec(5, 6, v);
+#[test]
+fn csr_round_trips_dense() {
+    check(&cfg(), |rng| umsc_linalg::testkit::vector(rng, 30, -3.0, 3.0), |v| {
+        let m = Matrix::from_vec(5, 6, v.clone());
         let s = CsrMatrix::from_dense(&m, 0.0);
-        prop_assert!(s.to_dense().approx_eq(&m, 0.0));
+        ensure!(s.to_dense().approx_eq(&m, 0.0));
         // spmv agrees with dense matvec.
         let x: Vec<f64> = (0..6).map(|i| i as f64 - 2.0).collect();
         let mut y = vec![0.0; 5];
         s.spmv(&x, &mut y);
         let yd = m.matvec(&x);
         for (a, b) in y.iter().zip(yd.iter()) {
-            prop_assert!((a - b).abs() < 1e-10);
+            ensure!((a - b).abs() < 1e-10);
         }
         // Transpose twice is identity.
-        prop_assert!(s.transpose().transpose().to_dense().approx_eq(&m, 0.0));
-    }
+        ensure!(s.transpose().transpose().to_dense().approx_eq(&m, 0.0));
+        Ok(())
+    });
 }

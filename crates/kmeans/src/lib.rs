@@ -9,10 +9,9 @@
 //!
 //! Determinism: every run is fully determined by [`KMeansConfig::seed`].
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use umsc_linalg::ops::sq_dist;
 use umsc_linalg::Matrix;
+use umsc_rt::Rng;
 
 /// Configuration for [`kmeans`].
 #[derive(Debug, Clone)]
@@ -60,6 +59,8 @@ pub struct KMeansResult {
     pub inertia: f64,
     /// Lloyd iterations used by the winning restart.
     pub iterations: usize,
+    /// Empty-cluster repairs performed by the winning restart.
+    pub repairs: usize,
 }
 
 impl KMeansResult {
@@ -108,12 +109,29 @@ impl KMeansResult {
 /// Panics if `cfg.k == 0`, `cfg.k > x.rows()`, or `x` has no columns while
 /// having rows.
 pub fn kmeans(x: &Matrix, cfg: &KMeansConfig) -> KMeansResult {
+    // Assignment work per Lloyd iteration is ~n·k·d flops; below the
+    // threshold thread spawns cost more than they save.
+    let work = x.rows() * x.cols().max(1) * cfg.k;
+    let t = if work >= PAR_WORK_THRESHOLD { umsc_rt::par::max_threads() } else { 1 };
+    kmeans_with_threads(x, cfg, t)
+}
+
+/// Per-iteration assignment work (≈ `n·d·k`) below which [`kmeans`] stays
+/// sequential.
+const PAR_WORK_THRESHOLD: usize = 1 << 16;
+
+/// [`kmeans`] with an explicit thread count for the assignment sweeps.
+///
+/// Each point's nearest centroid is found independently and the inertia is
+/// summed sequentially in point order afterwards, so the result is
+/// bitwise-identical for every thread count.
+pub fn kmeans_with_threads(x: &Matrix, cfg: &KMeansConfig, threads: usize) -> KMeansResult {
     let n = x.rows();
     assert!(cfg.k >= 1, "kmeans: k must be >= 1");
     assert!(cfg.k <= n, "kmeans: k = {} exceeds n = {n}", cfg.k);
     let mut best: Option<KMeansResult> = None;
     for restart in 0..cfg.n_init.max(1) {
-        let result = kmeans_single(x, cfg, cfg.seed.wrapping_add(restart as u64));
+        let result = kmeans_single(x, cfg, cfg.seed.wrapping_add(restart as u64), threads);
         if best.as_ref().is_none_or(|b| result.inertia < b.inertia) {
             best = Some(result);
         }
@@ -121,31 +139,42 @@ pub fn kmeans(x: &Matrix, cfg: &KMeansConfig) -> KMeansResult {
     best.expect("at least one restart ran")
 }
 
-fn kmeans_single(x: &Matrix, cfg: &KMeansConfig, seed: u64) -> KMeansResult {
+/// Nearest-centroid assignment of every row of `x`, threaded over points:
+/// returns `(label, sq-dist)` pairs in row order.
+fn assign_points(x: &Matrix, centroids: &Matrix, threads: usize) -> Vec<(usize, f64)> {
+    let k = centroids.rows();
+    umsc_rt::par::parallel_map_range_with(threads, x.rows(), |i| {
+        let row = x.row(i);
+        let (mut best_j, mut best_d) = (0usize, f64::INFINITY);
+        for j in 0..k {
+            let dist = sq_dist(row, centroids.row(j));
+            if dist < best_d {
+                best_d = dist;
+                best_j = j;
+            }
+        }
+        (best_j, best_d)
+    })
+}
+
+fn kmeans_single(x: &Matrix, cfg: &KMeansConfig, seed: u64, threads: usize) -> KMeansResult {
     let n = x.rows();
     let d = x.cols();
     let k = cfg.k;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::from_seed(seed);
 
     let mut centroids = plus_plus_init(x, k, &mut rng);
     let mut labels = vec![0usize; n];
     let mut inertia = f64::INFINITY;
     let mut iterations = 0;
+    let mut repairs = 0usize;
 
     for iter in 0..cfg.max_iter.max(1) {
         iterations = iter + 1;
-        // Assignment step.
+        // Assignment step (threaded; inertia summed in point order so the
+        // total is bitwise-independent of the thread count).
         let mut new_inertia = 0.0;
-        for i in 0..n {
-            let row = x.row(i);
-            let (mut best_j, mut best_d) = (0usize, f64::INFINITY);
-            for j in 0..k {
-                let dist = sq_dist(row, centroids.row(j));
-                if dist < best_d {
-                    best_d = dist;
-                    best_j = j;
-                }
-            }
+        for (i, (best_j, best_d)) in assign_points(x, &centroids, threads).into_iter().enumerate() {
             labels[i] = best_j;
             new_inertia += best_d;
         }
@@ -160,21 +189,15 @@ fn kmeans_single(x: &Matrix, cfg: &KMeansConfig, seed: u64) -> KMeansResult {
                 *s += v;
             }
         }
-        for j in 0..k {
-            if counts[j] == 0 {
-                // Empty-cluster repair: steal the point farthest from its
-                // current centroid.
-                let far = (0..n)
-                    .max_by(|&a, &b| {
-                        let da = sq_dist(x.row(a), centroids.row(labels[a]));
-                        let db = sq_dist(x.row(b), centroids.row(labels[b]));
-                        da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
-                    })
-                    .expect("n >= k >= 1");
-                centroids.row_mut(j).copy_from_slice(x.row(far));
-                labels[far] = j;
+        // `live` tracks cluster sizes across repairs within this update
+        // (the mean divisors keep the pre-repair `counts`).
+        let mut live = counts.clone();
+        for (j, &count) in counts.iter().enumerate() {
+            if count == 0 {
+                repair_empty_cluster(x, &mut centroids, &mut labels, &mut live, j);
+                repairs += 1;
             } else {
-                let inv = 1.0 / counts[j] as f64;
+                let inv = 1.0 / count as f64;
                 let crow = centroids.row_mut(j);
                 for (c, &s) in crow.iter_mut().zip(sums.row(j).iter()) {
                     *c = s * inv;
@@ -192,55 +215,82 @@ fn kmeans_single(x: &Matrix, cfg: &KMeansConfig, seed: u64) -> KMeansResult {
 
     // Final assignment pass so labels match the last centroids exactly.
     let mut final_inertia = 0.0;
-    for i in 0..n {
-        let row = x.row(i);
-        let (mut best_j, mut best_d) = (0usize, f64::INFINITY);
-        for j in 0..k {
-            let dist = sq_dist(row, centroids.row(j));
-            if dist < best_d {
-                best_d = dist;
-                best_j = j;
-            }
-        }
+    for (i, (best_j, best_d)) in assign_points(x, &centroids, threads).into_iter().enumerate() {
         labels[i] = best_j;
         final_inertia += best_d;
     }
-    KMeansResult { labels, centroids, inertia: final_inertia, iterations }
+    // The final pass can re-empty a cluster the update-step repair just
+    // filled: exact distance ties break toward the lower-index centroid,
+    // so a centroid sharing its location with an earlier one loses every
+    // point. Repair the final labeling too, so the result always has
+    // exactly k non-empty clusters. Stealing a point only ever lowers the
+    // inertia (its distance contribution drops to zero).
+    let mut counts = vec![0usize; k];
+    for &l in &labels {
+        counts[l] += 1;
+    }
+    for j in 0..k {
+        if counts[j] == 0 {
+            let stolen = repair_empty_cluster(x, &mut centroids, &mut labels, &mut counts, j);
+            final_inertia = (final_inertia - stolen).max(0.0);
+            repairs += 1;
+        }
+    }
+    KMeansResult { labels, centroids, inertia: final_inertia, iterations, repairs }
+}
+
+/// Fills empty cluster `j` by stealing the point farthest from its current
+/// centroid, excluding points that are their cluster's only member —
+/// stealing those would just move the hole (and with duplicate points the
+/// old repair did exactly that, re-emptying the cluster it had just
+/// filled). Returns the stolen point's previous squared distance; `counts`
+/// is updated in place.
+///
+/// A candidate always exists: while some cluster is empty, the `n >= k`
+/// points occupy at most `k − 1` clusters, so one holds at least two.
+fn repair_empty_cluster(
+    x: &Matrix,
+    centroids: &mut Matrix,
+    labels: &mut [usize],
+    counts: &mut [usize],
+    j: usize,
+) -> f64 {
+    let far = (0..x.rows())
+        .filter(|&i| counts[labels[i]] > 1)
+        .max_by(|&a, &b| {
+            let da = sq_dist(x.row(a), centroids.row(labels[a]));
+            let db = sq_dist(x.row(b), centroids.row(labels[b]));
+            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .expect("n >= k leaves a multi-member cluster while any cluster is empty");
+    let stolen = sq_dist(x.row(far), centroids.row(labels[far]));
+    centroids.row_mut(j).copy_from_slice(x.row(far));
+    counts[labels[far]] -= 1;
+    counts[j] = 1;
+    labels[far] = j;
+    stolen
 }
 
 /// k-means++ seeding: first centroid uniform, each next centroid sampled
 /// with probability proportional to squared distance from the nearest
 /// already-chosen centroid.
-fn plus_plus_init(x: &Matrix, k: usize, rng: &mut StdRng) -> Matrix {
+fn plus_plus_init(x: &Matrix, k: usize, rng: &mut Rng) -> Matrix {
     let n = x.rows();
     let d = x.cols();
     let mut centroids = Matrix::zeros(k, d);
-    let first = rng.random_range(0..n);
+    let first = rng.gen_range(0..n);
     centroids.row_mut(0).copy_from_slice(x.row(first));
 
     let mut min_dist: Vec<f64> = (0..n).map(|i| sq_dist(x.row(i), centroids.row(0))).collect();
     for j in 1..k {
-        let total: f64 = min_dist.iter().sum();
-        let chosen = if total <= 0.0 {
-            // All points coincide with chosen centroids; pick uniformly.
-            rng.random_range(0..n)
-        } else {
-            let mut target = rng.random::<f64>() * total;
-            let mut pick = n - 1;
-            for (i, &w) in min_dist.iter().enumerate() {
-                target -= w;
-                if target <= 0.0 {
-                    pick = i;
-                    break;
-                }
-            }
-            pick
-        };
+        // `choose_weighted` falls back to a uniform pick when every point
+        // coincides with an already-chosen centroid (zero total mass).
+        let chosen = rng.choose_weighted(&min_dist);
         centroids.row_mut(j).copy_from_slice(x.row(chosen));
-        for i in 0..n {
+        for (i, md) in min_dist.iter_mut().enumerate() {
             let dist = sq_dist(x.row(i), centroids.row(j));
-            if dist < min_dist[i] {
-                min_dist[i] = dist;
+            if dist < *md {
+                *md = dist;
             }
         }
     }
@@ -261,9 +311,9 @@ pub fn labeling_inertia(x: &Matrix, labels: &[usize], k: usize) -> f64 {
             *s += v;
         }
     }
-    for j in 0..k {
-        if counts[j] > 0 {
-            let inv = 1.0 / counts[j] as f64;
+    for (j, &count) in counts.iter().enumerate() {
+        if count > 0 {
+            let inv = 1.0 / count as f64;
             for s in sums.row_mut(j) {
                 *s *= inv;
             }
@@ -375,6 +425,80 @@ mod tests {
         let one = kmeans(&x, &KMeansConfig::new(3).with_seed(5).with_restarts(1)).inertia;
         let many = kmeans(&x, &KMeansConfig::new(3).with_seed(5).with_restarts(8)).inertia;
         assert!(many <= one + 1e-12);
+    }
+
+    #[test]
+    fn threaded_assignment_is_bitwise_identical() {
+        let (x, _) = three_blobs();
+        let cfg = KMeansConfig::new(3).with_seed(13);
+        let seq = kmeans_with_threads(&x, &cfg, 1);
+        for t in [2, 3, 4, 8] {
+            let par = kmeans_with_threads(&x, &cfg, t);
+            assert_eq!(seq.labels, par.labels, "labels differ at {t} threads");
+            assert_eq!(seq.inertia.to_bits(), par.inertia.to_bits(), "inertia differs at {t} threads");
+            assert_eq!(seq.centroids.as_slice(), par.centroids.as_slice());
+            assert_eq!(seq.iterations, par.iterations);
+        }
+        // The implicit entry point agrees with the forced-sequential run.
+        let auto = kmeans(&x, &cfg);
+        assert_eq!(auto.labels, seq.labels);
+        assert_eq!(auto.inertia.to_bits(), seq.inertia.to_bits());
+    }
+
+    #[test]
+    fn empty_cluster_repair_yields_k_nonempty_clusters() {
+        // Five points on two distinct locations, fit with k = 3: k-means++
+        // must place two centroids on the same location (only two exist),
+        // so the duplicate centroid loses every point to an exact-distance
+        // tie at the first assignment — the empty-cluster repair path.
+        // Before the repair was fixed it stole a point whose distance ties
+        // at zero and lost it again in the final assignment pass, leaving
+        // fewer than k clusters.
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+            vec![10.0, 10.0],
+            vec![10.0, 10.0],
+        ]);
+        let k = 3;
+        let mut seeds_with_repair = 0usize;
+        for seed in 0..50u64 {
+            let cfg = KMeansConfig::new(k).with_seed(seed).with_restarts(1);
+            let res = kmeans_with_threads(&x, &cfg, 1);
+            if res.repairs > 0 {
+                seeds_with_repair += 1;
+            }
+            let mut counts = vec![0usize; k];
+            for &l in &res.labels {
+                counts[l] += 1;
+            }
+            assert!(
+                counts.iter().all(|&c| c > 0),
+                "empty cluster survived to the final labeling (seed {seed}): {counts:?}"
+            );
+            // Splitting duplicate locations costs nothing: the objective
+            // stays at the two-location optimum despite the repairs.
+            assert!(res.inertia < 1e-20, "seed {seed}: inertia {}", res.inertia);
+            // Objective is non-increasing in the iteration budget even
+            // across repairs (stealing the farthest point removes that
+            // point's inertia contribution).
+            let mut prev = f64::INFINITY;
+            for max_iter in 1..=4 {
+                let partial =
+                    kmeans_with_threads(&x, &KMeansConfig { max_iter, ..cfg.clone() }, 1);
+                assert!(
+                    partial.inertia <= prev + 1e-12,
+                    "objective rose (seed {seed}, max_iter {max_iter}): {prev} -> {}",
+                    partial.inertia
+                );
+                prev = partial.inertia;
+            }
+        }
+        assert!(
+            seeds_with_repair > 0,
+            "no seed in 0..50 exercised the empty-cluster repair path — construction too benign"
+        );
     }
 
     #[test]

@@ -2,77 +2,110 @@
 //! monotonicity in the restart budget, determinism, and recovery of
 //! well-separated planted clusters.
 
-use proptest::prelude::*;
 use umsc_kmeans::{kmeans, labeling_inertia, KMeansConfig};
 use umsc_linalg::Matrix;
+use umsc_rt::check::{check, Config};
+use umsc_rt::{ensure, Rng};
 
-fn points(n: usize, d: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(-8.0f64..8.0, n * d).prop_map(move |v| Matrix::from_vec(n, d, v))
+fn cfg() -> Config {
+    Config::cases(32)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn points(rng: &mut Rng, n: usize, d: usize) -> Matrix {
+    Matrix::from_fn(n, d, |_, _| rng.gen_range_f64(-8.0, 8.0))
+}
 
-    #[test]
-    fn output_contract(x in points(24, 3), k in 1usize..6, seed in 0u64..500) {
-        let res = kmeans(&x, &KMeansConfig::new(k).with_seed(seed).with_restarts(2));
-        prop_assert_eq!(res.labels.len(), 24);
-        prop_assert!(res.labels.iter().all(|&l| l < k));
-        prop_assert_eq!(res.centroids.shape(), (k, 3));
-        prop_assert!(res.inertia.is_finite() && res.inertia >= 0.0);
-        // Reported inertia matches the labeling's actual cost.
-        let recomputed = labeling_inertia(&x, &res.labels, k);
-        prop_assert!((recomputed - res.inertia).abs() < 1e-6 * (1.0 + res.inertia));
-    }
+#[test]
+fn output_contract() {
+    check(
+        &cfg(),
+        |rng| (points(rng, 24, 3), rng.gen_range(1..6), rng.gen_range(0..500) as u64),
+        |(x, k, seed)| {
+            let k = *k;
+            let res = kmeans(x, &KMeansConfig::new(k).with_seed(*seed).with_restarts(2));
+            ensure!(res.labels.len() == 24);
+            ensure!(res.labels.iter().all(|&l| l < k));
+            ensure!(res.centroids.shape() == (k, 3));
+            ensure!(res.inertia.is_finite() && res.inertia >= 0.0);
+            // Reported inertia matches the labeling's actual cost.
+            let recomputed = labeling_inertia(x, &res.labels, k);
+            ensure!((recomputed - res.inertia).abs() < 1e-6 * (1.0 + res.inertia));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn assignment_is_locally_optimal(x in points(20, 2), seed in 0u64..100) {
-        // Every point sits with its nearest centroid.
-        let res = kmeans(&x, &KMeansConfig::new(3).with_seed(seed));
-        for i in 0..20 {
-            let own = umsc_linalg::ops::sq_dist(x.row(i), res.centroids.row(res.labels[i]));
-            for j in 0..3 {
-                let other = umsc_linalg::ops::sq_dist(x.row(i), res.centroids.row(j));
-                prop_assert!(own <= other + 1e-9, "point {} misassigned", i);
+#[test]
+fn assignment_is_locally_optimal() {
+    check(
+        &cfg(),
+        |rng| (points(rng, 20, 2), rng.gen_range(0..100) as u64),
+        |(x, seed)| {
+            // Every point sits with its nearest centroid.
+            let res = kmeans(x, &KMeansConfig::new(3).with_seed(*seed));
+            for i in 0..20 {
+                let own = umsc_linalg::ops::sq_dist(x.row(i), res.centroids.row(res.labels[i]));
+                for j in 0..3 {
+                    let other = umsc_linalg::ops::sq_dist(x.row(i), res.centroids.row(j));
+                    ensure!(own <= other + 1e-9, "point {i} misassigned");
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn deterministic(x in points(18, 2), seed in 0u64..300) {
-        let cfg = KMeansConfig::new(3).with_seed(seed);
-        let a = kmeans(&x, &cfg);
-        let b = kmeans(&x, &cfg);
-        prop_assert_eq!(a.labels, b.labels);
-        prop_assert_eq!(a.inertia, b.inertia);
-    }
+#[test]
+fn deterministic() {
+    check(
+        &cfg(),
+        |rng| (points(rng, 18, 2), rng.gen_range(0..300) as u64),
+        |(x, seed)| {
+            let cfg = KMeansConfig::new(3).with_seed(*seed);
+            let a = kmeans(x, &cfg);
+            let b = kmeans(x, &cfg);
+            ensure!(a.labels == b.labels);
+            ensure!(a.inertia == b.inertia);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn more_clusters_never_raise_inertia(x in points(20, 2)) {
+#[test]
+fn more_clusters_never_raise_inertia() {
+    check(&cfg(), |rng| points(rng, 20, 2), |x| {
         let mut prev = f64::INFINITY;
         for k in 1..=5 {
-            let res = kmeans(&x, &KMeansConfig::new(k).with_seed(0).with_restarts(6));
-            prop_assert!(res.inertia <= prev + 1e-9, "k={k}: {} > {prev}", res.inertia);
+            let res = kmeans(x, &KMeansConfig::new(k).with_seed(0).with_restarts(6));
+            ensure!(res.inertia <= prev + 1e-9, "k={k}: {} > {prev}", res.inertia);
             prev = res.inertia;
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn recovers_separated_blobs(offsets in prop::collection::vec(-1.0f64..1.0, 30), gap in 20.0f64..50.0) {
-        // 3 blobs on a line, gap >> jitter.
-        let mut rows = Vec::new();
-        let mut truth = Vec::new();
-        for (i, &o) in offsets.iter().enumerate() {
-            let c = i % 3;
-            rows.push(vec![c as f64 * gap + o]);
-            truth.push(c);
-        }
-        let x = Matrix::from_rows(&rows);
-        let res = kmeans(&x, &KMeansConfig::new(3).with_seed(1).with_restarts(8));
-        for i in 0..truth.len() {
-            for j in 0..truth.len() {
-                prop_assert_eq!(res.labels[i] == res.labels[j], truth[i] == truth[j]);
+#[test]
+fn recovers_separated_blobs() {
+    check(
+        &cfg(),
+        |rng| (umsc_linalg::testkit::vector(rng, 30, -1.0, 1.0), rng.gen_range_f64(20.0, 50.0)),
+        |(offsets, gap)| {
+            // 3 blobs on a line, gap >> jitter.
+            let mut rows = Vec::new();
+            let mut truth = Vec::new();
+            for (i, &o) in offsets.iter().enumerate() {
+                let c = i % 3;
+                rows.push(vec![c as f64 * gap + o]);
+                truth.push(c);
             }
-        }
-    }
+            let x = Matrix::from_rows(&rows);
+            let res = kmeans(&x, &KMeansConfig::new(3).with_seed(1).with_restarts(8));
+            for i in 0..truth.len() {
+                for j in 0..truth.len() {
+                    ensure!((res.labels[i] == res.labels[j]) == (truth[i] == truth[j]));
+                }
+            }
+            Ok(())
+        },
+    );
 }

@@ -151,9 +151,7 @@ fn ritz_pairs(
     let mut d = alpha.to_vec();
     // tql2 expects e[1..] as the sub-diagonal.
     let mut e = vec![0.0; m];
-    for i in 1..m {
-        e[i] = beta[i - 1];
-    }
+    e[1..m].copy_from_slice(&beta[..m - 1]);
     let mut z = Matrix::identity(m);
     tql2(&mut d, &mut e, &mut z)?;
 
@@ -233,14 +231,14 @@ mod tests {
         let a = sym(12, |i, j| ((i * 3 + j) as f64).sin() + if i == j { 4.0 } else { 0.0 });
         let (vals, vecs) = lanczos_smallest(&a, 3, &LanczosConfig::default()).unwrap();
         let dense = SymEigen::compute(&a).unwrap();
-        for i in 0..3 {
-            assert!((vals[i] - dense.eigenvalues[i]).abs() < 1e-7, "{} vs {}", vals[i], dense.eigenvalues[i]);
+        for (v, dv) in vals.iter().zip(dense.eigenvalues.iter()) {
+            assert!((v - dv).abs() < 1e-7, "{v} vs {dv}");
         }
         // Residual check: ‖A v − λ v‖ small.
-        for i in 0..3 {
+        for (i, &val) in vals.iter().enumerate() {
             let v = vecs.col(i);
             let av = a.matvec(&v);
-            let res: f64 = av.iter().zip(v.iter()).map(|(x, y)| (x - vals[i] * y).powi(2)).sum::<f64>().sqrt();
+            let res: f64 = av.iter().zip(v.iter()).map(|(x, y)| (x - val * y).powi(2)).sum::<f64>().sqrt();
             assert!(res < 1e-6, "residual {res}");
         }
     }
@@ -261,8 +259,8 @@ mod tests {
         let a = sym(n, |i, j| if i == j { (i % 7) as f64 + 1.0 } else if j == i + 1 { 0.5 } else { 0.0 });
         let (vals, vecs) = lanczos_smallest(&a, 5, &LanczosConfig { initial_subspace: 12, ..Default::default() }).unwrap();
         let dense = SymEigen::compute(&a).unwrap();
-        for i in 0..5 {
-            assert!((vals[i] - dense.eigenvalues[i]).abs() < 1e-6);
+        for (v, dv) in vals.iter().zip(dense.eigenvalues.iter()) {
+            assert!((v - dv).abs() < 1e-6);
         }
         let vtv = vecs.matmul_transpose_a(&vecs);
         assert!(vtv.approx_eq(&Matrix::identity(5), 1e-6));

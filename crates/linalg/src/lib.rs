@@ -39,6 +39,7 @@ pub mod ops;
 pub mod procrustes;
 pub mod qr;
 pub mod svd;
+pub mod testkit;
 pub mod tridiag;
 
 pub use cholesky::{cholesky, cholesky_solve, inverse_sqrt_psd};

@@ -223,11 +223,28 @@ impl Matrix {
         out
     }
 
+    /// Approximate flop count below which threading a GEMM costs more than
+    /// it saves (thread spawn is ~10µs; a flop is well under a ns here).
+    const PAR_FLOP_THRESHOLD: usize = 1 << 18;
+
     /// Matrix product `self · other`.
+    ///
+    /// Large products are computed on up to `umsc_rt::par::max_threads()`
+    /// threads. Each output row is produced by exactly the same instruction
+    /// sequence as the sequential loop, so the result is bitwise-identical
+    /// regardless of thread count.
     ///
     /// # Panics
     /// Panics if the inner dimensions do not match.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let flops = 2 * self.rows * self.cols * other.cols;
+        let t = if flops >= Self::PAR_FLOP_THRESHOLD { umsc_rt::par::max_threads() } else { 1 };
+        self.matmul_with_threads(t, other)
+    }
+
+    /// [`Matrix::matmul`] with an explicit thread count (`threads <= 1`
+    /// runs inline; no work-size gate).
+    pub fn matmul_with_threads(&self, threads: usize, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
             "Matrix::matmul: inner dimension mismatch ({}x{} · {}x{})",
@@ -235,9 +252,11 @@ impl Matrix {
         );
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
+        if n == 0 {
+            return out;
+        }
+        umsc_rt::par::parallel_chunks_mut_with(threads, &mut out.data, n, |i, orow| {
             let arow = &self.data[i * k..(i + 1) * k];
-            let orow = &mut out.data[i * n..(i + 1) * n];
             for (p, &a) in arow.iter().enumerate() {
                 if a == 0.0 {
                     continue;
@@ -247,7 +266,7 @@ impl Matrix {
                     *o += a * b;
                 }
             }
-        }
+        });
         out
     }
 
@@ -277,7 +296,17 @@ impl Matrix {
     }
 
     /// Matrix product `self · otherᵀ` without forming the transpose.
+    ///
+    /// Threaded by output row like [`Matrix::matmul`]; bitwise-identical
+    /// to the sequential loop for any thread count.
     pub fn matmul_transpose_b(&self, other: &Matrix) -> Matrix {
+        let flops = 2 * self.rows * self.cols * other.rows;
+        let t = if flops >= Self::PAR_FLOP_THRESHOLD { umsc_rt::par::max_threads() } else { 1 };
+        self.matmul_transpose_b_with_threads(t, other)
+    }
+
+    /// [`Matrix::matmul_transpose_b`] with an explicit thread count.
+    pub fn matmul_transpose_b_with_threads(&self, threads: usize, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.cols,
             "Matrix::matmul_transpose_b: column mismatch ({}x{} vs {}x{})",
@@ -285,14 +314,16 @@ impl Matrix {
         );
         let (m, k, n) = (self.rows, self.cols, other.rows);
         let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
+        if n == 0 {
+            return out;
+        }
+        umsc_rt::par::parallel_chunks_mut_with(threads, &mut out.data, n, |i, orow| {
             let arow = &self.data[i * k..(i + 1) * k];
-            let orow = &mut out.data[i * n..(i + 1) * n];
             for (j, o) in orow.iter_mut().enumerate() {
                 let brow = &other.data[j * k..(j + 1) * k];
                 *o = dot(arow, brow);
             }
-        }
+        });
         out
     }
 
@@ -745,6 +776,49 @@ mod tests {
     #[should_panic(expected = "inner dimension mismatch")]
     fn matmul_shape_panic() {
         let _ = a23().matmul(&a23());
+    }
+
+    #[test]
+    fn threaded_matmul_is_bitwise_identical() {
+        let mut rng = umsc_rt::Rng::from_seed(31);
+        // Odd sizes so row blocks split unevenly; a sprinkle of exact zeros
+        // exercises the zero-skip branch under threading too.
+        let a = Matrix::from_fn(37, 29, |_, _| {
+            if rng.next_f64() < 0.1 { 0.0 } else { rng.normal() }
+        });
+        let b = Matrix::from_fn(29, 41, |_, _| rng.normal());
+        let seq = a.matmul_with_threads(1, &b);
+        for t in [2, 3, 4, 8] {
+            let par = a.matmul_with_threads(t, &b);
+            assert_eq!(seq.as_slice(), par.as_slice(), "matmul differs at {t} threads");
+        }
+        // The implicit path agrees as well (whatever thread count it picks).
+        assert_eq!(a.matmul(&b).as_slice(), seq.as_slice());
+    }
+
+    #[test]
+    fn threaded_matmul_transpose_b_is_bitwise_identical() {
+        let mut rng = umsc_rt::Rng::from_seed(32);
+        let a = Matrix::from_fn(23, 17, |_, _| rng.normal());
+        let c = Matrix::from_fn(31, 17, |_, _| rng.normal());
+        let seq = a.matmul_transpose_b_with_threads(1, &c);
+        for t in [2, 4, 7] {
+            let par = a.matmul_transpose_b_with_threads(t, &c);
+            assert_eq!(seq.as_slice(), par.as_slice(), "matmul_transpose_b differs at {t} threads");
+        }
+        assert_eq!(a.matmul_transpose_b(&c).as_slice(), seq.as_slice());
+    }
+
+    #[test]
+    fn threaded_matmul_edge_shapes() {
+        let a = Matrix::zeros(0, 3);
+        let b = Matrix::zeros(3, 4);
+        assert_eq!(a.matmul_with_threads(4, &b).shape(), (0, 4));
+        let a = Matrix::zeros(3, 2);
+        let b = Matrix::zeros(2, 0);
+        assert_eq!(a.matmul_with_threads(4, &b).shape(), (3, 0));
+        let a = Matrix::from_vec(1, 1, vec![2.0]);
+        assert_eq!(a.matmul_with_threads(9, &a)[(0, 0)], 4.0);
     }
 
     #[test]

@@ -125,12 +125,12 @@ fn svd_tall(a: &Matrix) -> Result<Svd> {
     let mut s: Vec<f64> = (0..n).map(|j| norm2(ut.row(j))).collect();
     let smax = s.iter().fold(0.0f64, |a, &b| a.max(b));
     let zero_tol = f64::EPSILON * smax * m as f64;
-    for j in 0..n {
-        if s[j] > zero_tol {
-            let inv = 1.0 / s[j];
+    for (j, sv) in s.iter_mut().enumerate() {
+        if *sv > zero_tol {
+            let inv = 1.0 / *sv;
             scale(inv, ut.row_mut(j));
         } else {
-            s[j] = 0.0;
+            *sv = 0.0;
             ut.row_mut(j).fill(0.0);
         }
     }
@@ -174,8 +174,8 @@ fn rotate_rows(m: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
 /// orthonormal to every other row.
 fn complete_orthonormal_rows(ut: &mut Matrix, s: &[f64]) {
     let (k, m) = ut.shape();
-    for j in 0..k {
-        if s[j] > 0.0 {
+    for (j, &sj) in s.iter().enumerate().take(k) {
+        if sj > 0.0 {
             continue;
         }
         // Try standard basis vectors until one survives orthogonalization.

@@ -1,33 +1,18 @@
 //! Property tests for the generalized symmetric-definite eigenproblem.
 
-use proptest::prelude::*;
+use umsc_linalg::testkit::{spd_matrix, sym_matrix};
 use umsc_linalg::{generalized_eigen, Matrix, SymEigen};
+use umsc_rt::check::{check, Config};
+use umsc_rt::ensure;
 
-fn sym_matrix(n: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(-4.0f64..4.0, n * n).prop_map(move |v| {
-        let mut m = Matrix::from_vec(n, n, v);
-        m.symmetrize_mut();
-        m
-    })
+fn cfg() -> Config {
+    Config::cases(32)
 }
 
-fn spd_matrix(n: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(-3.0f64..3.0, (n + 2) * n).prop_map(move |v| {
-        let x = Matrix::from_vec(n + 2, n, v);
-        let mut g = x.matmul_transpose_a(&x);
-        for i in 0..n {
-            g[(i, i)] += 1.5;
-        }
-        g
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn pencil_identities(a in sym_matrix(5), b in spd_matrix(5)) {
-        let g = generalized_eigen(&a, &b).unwrap();
+#[test]
+fn pencil_identities() {
+    check(&cfg(), |rng| (sym_matrix(rng, 5), spd_matrix(rng, 5)), |(a, b)| {
+        let g = generalized_eigen(a, b).unwrap();
         // A·V ≈ B·V·Λ.
         let av = a.matmul(&g.eigenvectors);
         let bv = b.matmul(&g.eigenvectors);
@@ -35,34 +20,45 @@ proptest! {
             for i in 0..5 {
                 let lhs = av[(i, j)];
                 let rhs = g.eigenvalues[j] * bv[(i, j)];
-                prop_assert!((lhs - rhs).abs() < 1e-6 * (1.0 + lhs.abs().max(rhs.abs())));
+                ensure!((lhs - rhs).abs() < 1e-6 * (1.0 + lhs.abs().max(rhs.abs())));
             }
         }
         // B-orthonormality and ordering.
         let vbv = g.eigenvectors.matmul_transpose_a(&b.matmul(&g.eigenvectors));
-        prop_assert!(vbv.approx_eq(&Matrix::identity(5), 1e-7));
+        ensure!(vbv.approx_eq(&Matrix::identity(5), 1e-7));
         for w in g.eigenvalues.windows(2) {
-            prop_assert!(w[0] <= w[1] + 1e-12);
+            ensure!(w[0] <= w[1] + 1e-12);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn reduces_to_ordinary_when_b_is_identity(a in sym_matrix(4)) {
-        let g = generalized_eigen(&a, &Matrix::identity(4)).unwrap();
-        let ord = SymEigen::compute(&a).unwrap();
+#[test]
+fn reduces_to_ordinary_when_b_is_identity() {
+    check(&cfg(), |rng| sym_matrix(rng, 4), |a| {
+        let g = generalized_eigen(a, &Matrix::identity(4)).unwrap();
+        let ord = SymEigen::compute(a).unwrap();
         for (x, y) in g.eigenvalues.iter().zip(ord.eigenvalues.iter()) {
-            prop_assert!((x - y).abs() < 1e-8 * (1.0 + y.abs()));
+            ensure!((x - y).abs() < 1e-8 * (1.0 + y.abs()));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn scaling_b_scales_eigenvalues_inversely(a in sym_matrix(4), scale in 0.5f64..4.0) {
-        let b = Matrix::identity(4);
-        let scaled_b = &b * scale;
-        let g1 = generalized_eigen(&a, &b).unwrap();
-        let g2 = generalized_eigen(&a, &scaled_b).unwrap();
-        for (x, y) in g1.eigenvalues.iter().zip(g2.eigenvalues.iter()) {
-            prop_assert!((x / scale - y).abs() < 1e-8 * (1.0 + x.abs()));
-        }
-    }
+#[test]
+fn scaling_b_scales_eigenvalues_inversely() {
+    check(
+        &cfg(),
+        |rng| (sym_matrix(rng, 4), rng.gen_range_f64(0.5, 4.0)),
+        |(a, scale)| {
+            let b = Matrix::identity(4);
+            let scaled_b = &b * *scale;
+            let g1 = generalized_eigen(a, &b).unwrap();
+            let g2 = generalized_eigen(a, &scaled_b).unwrap();
+            for (x, y) in g1.eigenvalues.iter().zip(g2.eigenvalues.iter()) {
+                ensure!((x / scale - y).abs() < 1e-8 * (1.0 + x.abs()));
+            }
+            Ok(())
+        },
+    );
 }

@@ -2,158 +2,183 @@
 //! their defining algebraic identities on arbitrary well-scaled inputs, and
 //! the two independent eigensolver implementations must agree.
 
-use proptest::prelude::*;
+use umsc_linalg::testkit::{matrix, spd_matrix, sym_matrix, vector};
 use umsc_linalg::{
     cholesky, cholesky_solve, jacobi_eigen, lu_solve, polar_orthogonalize, procrustes, qr, Matrix,
     Svd, SymEigen,
 };
+use umsc_rt::check::{check, Config};
+use umsc_rt::ensure;
 
-/// Strategy: a well-scaled `rows × cols` matrix with entries in [-5, 5].
-fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(-5.0f64..5.0, rows * cols)
-        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+fn cfg() -> Config {
+    Config::cases(48)
 }
 
-/// Strategy: a symmetric `n × n` matrix.
-fn sym_matrix(n: usize) -> impl Strategy<Value = Matrix> {
-    matrix(n, n).prop_map(|mut m| {
-        m.symmetrize_mut();
-        m
-    })
-}
-
-/// Strategy: an SPD matrix `XᵀX + I`.
-fn spd_matrix(n: usize) -> impl Strategy<Value = Matrix> {
-    matrix(n + 2, n).prop_map(move |x| {
-        let mut g = x.matmul_transpose_a(&x);
-        for i in 0..n {
-            g[(i, i)] += 1.0;
-        }
-        g
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn eigen_satisfies_definition(a in sym_matrix(6)) {
-        let eig = SymEigen::compute(&a).unwrap();
+#[test]
+fn eigen_satisfies_definition() {
+    check(&cfg(), |rng| sym_matrix(rng, 6), |a| {
+        let eig = SymEigen::compute(a).unwrap();
         // A·V = V·diag(λ)
-        prop_assert!(eig.max_residual(&a) < 1e-8 * (1.0 + a.max_abs()));
+        ensure!(eig.max_residual(a) < 1e-8 * (1.0 + a.max_abs()));
         // Orthonormal V.
         let vtv = eig.eigenvectors.matmul_transpose_a(&eig.eigenvectors);
-        prop_assert!(vtv.approx_eq(&Matrix::identity(6), 1e-9));
+        ensure!(vtv.approx_eq(&Matrix::identity(6), 1e-9));
         // Trace and ascending order.
         let sum: f64 = eig.eigenvalues.iter().sum();
-        prop_assert!((sum - a.trace()).abs() < 1e-8 * (1.0 + a.max_abs()));
+        ensure!((sum - a.trace()).abs() < 1e-8 * (1.0 + a.max_abs()));
         for w in eig.eigenvalues.windows(2) {
-            prop_assert!(w[0] <= w[1] + 1e-12);
+            ensure!(w[0] <= w[1] + 1e-12);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn eigensolvers_agree(a in sym_matrix(5)) {
-        let ql = SymEigen::compute(&a).unwrap();
-        let (jac, _) = jacobi_eigen(&a).unwrap();
+#[test]
+fn eigensolvers_agree() {
+    check(&cfg(), |rng| sym_matrix(rng, 5), |a| {
+        let ql = SymEigen::compute(a).unwrap();
+        let (jac, _) = jacobi_eigen(a).unwrap();
         for (x, y) in ql.eigenvalues.iter().zip(jac.iter()) {
-            prop_assert!((x - y).abs() < 1e-7 * (1.0 + a.max_abs()), "{x} vs {y}");
+            ensure!((x - y).abs() < 1e-7 * (1.0 + a.max_abs()), "{x} vs {y}");
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn gershgorin_bounds_spectrum(a in sym_matrix(6)) {
-        let eig = SymEigen::compute(&a).unwrap();
+#[test]
+fn gershgorin_bounds_spectrum() {
+    check(&cfg(), |rng| sym_matrix(rng, 6), |a| {
+        let eig = SymEigen::compute(a).unwrap();
         let bound = a.gershgorin_upper_bound();
-        prop_assert!(eig.eigenvalues.last().unwrap() <= &(bound + 1e-9));
-    }
+        ensure!(eig.eigenvalues.last().unwrap() <= &(bound + 1e-9));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn svd_identities(a in matrix(6, 4)) {
-        let svd = Svd::compute(&a).unwrap();
-        prop_assert!(svd.reconstruct().approx_eq(&a, 1e-8 * (1.0 + a.max_abs())));
-        prop_assert!(svd.u.matmul_transpose_a(&svd.u).approx_eq(&Matrix::identity(4), 1e-9));
-        prop_assert!(svd.v.matmul_transpose_a(&svd.v).approx_eq(&Matrix::identity(4), 1e-9));
+#[test]
+fn svd_identities() {
+    check(&cfg(), |rng| matrix(rng, 6, 4), |a| {
+        let svd = Svd::compute(a).unwrap();
+        ensure!(svd.reconstruct().approx_eq(a, 1e-8 * (1.0 + a.max_abs())));
+        ensure!(svd.u.matmul_transpose_a(&svd.u).approx_eq(&Matrix::identity(4), 1e-9));
+        ensure!(svd.v.matmul_transpose_a(&svd.v).approx_eq(&Matrix::identity(4), 1e-9));
         // Frobenius norm equals sqrt of sum of squared singular values.
         let fro2: f64 = svd.s.iter().map(|s| s * s).sum();
-        prop_assert!((fro2.sqrt() - a.frobenius_norm()).abs() < 1e-8 * (1.0 + a.frobenius_norm()));
-    }
+        ensure!((fro2.sqrt() - a.frobenius_norm()).abs() < 1e-8 * (1.0 + a.frobenius_norm()));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn svd_wide_matches_tall_of_transpose(a in matrix(3, 7)) {
-        let s1 = Svd::compute(&a).unwrap();
+#[test]
+fn svd_wide_matches_tall_of_transpose() {
+    check(&cfg(), |rng| matrix(rng, 3, 7), |a| {
+        let s1 = Svd::compute(a).unwrap();
         let s2 = Svd::compute(&a.transpose()).unwrap();
         for (x, y) in s1.s.iter().zip(s2.s.iter()) {
-            prop_assert!((x - y).abs() < 1e-9 * (1.0 + a.max_abs()));
+            ensure!((x - y).abs() < 1e-9 * (1.0 + a.max_abs()));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn qr_identities(a in matrix(7, 4)) {
-        let d = qr(&a);
-        prop_assert!(d.q.matmul(&d.r).approx_eq(&a, 1e-9 * (1.0 + a.max_abs())));
-        prop_assert!(d.q.matmul_transpose_a(&d.q).approx_eq(&Matrix::identity(4), 1e-9));
+#[test]
+fn qr_identities() {
+    check(&cfg(), |rng| matrix(rng, 7, 4), |a| {
+        let d = qr(a);
+        ensure!(d.q.matmul(&d.r).approx_eq(a, 1e-9 * (1.0 + a.max_abs())));
+        ensure!(d.q.matmul_transpose_a(&d.q).approx_eq(&Matrix::identity(4), 1e-9));
         for j in 0..4 {
-            prop_assert!(d.r[(j, j)] >= 0.0, "canonical R diagonal must be non-negative");
+            ensure!(d.r[(j, j)] >= 0.0, "canonical R diagonal must be non-negative");
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn cholesky_solve_roundtrip(a in spd_matrix(5), x in prop::collection::vec(-3.0f64..3.0, 5)) {
-        let b = a.matvec(&x);
-        let solved = cholesky_solve(&a, &b).unwrap();
-        for (u, v) in solved.iter().zip(x.iter()) {
-            prop_assert!((u - v).abs() < 1e-6 * (1.0 + v.abs()));
-        }
-        let l = cholesky(&a).unwrap();
-        prop_assert!(l.matmul_transpose_b(&l).approx_eq(&a, 1e-8 * (1.0 + a.max_abs())));
-    }
+#[test]
+fn cholesky_solve_roundtrip() {
+    check(
+        &cfg(),
+        |rng| (spd_matrix(rng, 5), vector(rng, 5, -3.0, 3.0)),
+        |(a, x)| {
+            let b = a.matvec(x);
+            let solved = cholesky_solve(a, &b).unwrap();
+            for (u, v) in solved.iter().zip(x.iter()) {
+                ensure!((u - v).abs() < 1e-6 * (1.0 + v.abs()));
+            }
+            let l = cholesky(a).unwrap();
+            ensure!(l.matmul_transpose_b(&l).approx_eq(a, 1e-8 * (1.0 + a.max_abs())));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn lu_solve_roundtrip(x in prop::collection::vec(-3.0f64..3.0, 5), a in matrix(5, 5)) {
-        // Diagonally dominate to guarantee invertibility.
-        let mut a = a;
-        for i in 0..5 {
-            let rowsum: f64 = a.row(i).iter().map(|v| v.abs()).sum();
-            a[(i, i)] += rowsum + 1.0;
-        }
-        let b = a.matvec(&x);
-        let solved = lu_solve(&a, &b).unwrap();
-        for (u, v) in solved.iter().zip(x.iter()) {
-            prop_assert!((u - v).abs() < 1e-7 * (1.0 + v.abs()));
-        }
-    }
+#[test]
+fn lu_solve_roundtrip() {
+    check(
+        &cfg(),
+        |rng| (vector(rng, 5, -3.0, 3.0), matrix(rng, 5, 5)),
+        |(x, a)| {
+            // Diagonally dominate to guarantee invertibility.
+            let mut a = a.clone();
+            for i in 0..5 {
+                let rowsum: f64 = a.row(i).iter().map(|v| v.abs()).sum();
+                a[(i, i)] += rowsum + 1.0;
+            }
+            let b = a.matvec(x);
+            let solved = lu_solve(&a, &b).unwrap();
+            for (u, v) in solved.iter().zip(x.iter()) {
+                ensure!((u - v).abs() < 1e-7 * (1.0 + v.abs()));
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn procrustes_is_optimal_orthogonal(m in matrix(3, 3)) {
-        let r = procrustes(&m).unwrap();
-        prop_assert!(r.matmul_transpose_a(&r).approx_eq(&Matrix::identity(3), 1e-8));
-        let best = r.matmul_transpose_a(&m).trace();
+#[test]
+fn procrustes_is_optimal_orthogonal() {
+    check(&cfg(), |rng| matrix(rng, 3, 3), |m| {
+        let r = procrustes(m).unwrap();
+        ensure!(r.matmul_transpose_a(&r).approx_eq(&Matrix::identity(3), 1e-8));
+        let best = r.matmul_transpose_a(m).trace();
         // Any random rotation built from QR of a perturbation can't beat it.
-        let q = qr(&m).q;
-        prop_assert!(q.matmul_transpose_a(&m).trace() <= best + 1e-7);
-    }
+        let q = qr(m).q;
+        ensure!(q.matmul_transpose_a(m).trace() <= best + 1e-7);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn polar_projects_to_stiefel(m in matrix(6, 3)) {
-        let f = polar_orthogonalize(&m).unwrap();
-        prop_assert!(f.matmul_transpose_a(&f).approx_eq(&Matrix::identity(3), 1e-8));
+#[test]
+fn polar_projects_to_stiefel() {
+    check(&cfg(), |rng| matrix(rng, 6, 3), |m| {
+        let f = polar_orthogonalize(m).unwrap();
+        ensure!(f.matmul_transpose_a(&f).approx_eq(&Matrix::identity(3), 1e-8));
         // Maximality of tr(FᵀM) against the QR orthonormalization.
-        let q = qr(&m).q;
-        prop_assert!(q.matmul_transpose_a(&m).trace() <= f.matmul_transpose_a(&m).trace() + 1e-7);
-    }
+        let q = qr(m).q;
+        ensure!(q.matmul_transpose_a(m).trace() <= f.matmul_transpose_a(m).trace() + 1e-7);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn matmul_associativity(a in matrix(3, 4), b in matrix(4, 2), c in matrix(2, 5)) {
-        let left = a.matmul(&b).matmul(&c);
-        let right = a.matmul(&b.matmul(&c));
-        prop_assert!(left.approx_eq(&right, 1e-9 * (1.0 + left.max_abs())));
-    }
+#[test]
+fn matmul_associativity() {
+    check(
+        &cfg(),
+        |rng| (matrix(rng, 3, 4), matrix(rng, 4, 2), matrix(rng, 2, 5)),
+        |(a, b, c)| {
+            let left = a.matmul(b).matmul(c);
+            let right = a.matmul(&b.matmul(c));
+            ensure!(left.approx_eq(&right, 1e-9 * (1.0 + left.max_abs())));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn transpose_of_product(a in matrix(3, 4), b in matrix(4, 2)) {
-        let lhs = a.matmul(&b).transpose();
+#[test]
+fn transpose_of_product() {
+    check(&cfg(), |rng| (matrix(rng, 3, 4), matrix(rng, 4, 2)), |(a, b)| {
+        let lhs = a.matmul(b).transpose();
         let rhs = b.transpose().matmul(&a.transpose());
-        prop_assert!(lhs.approx_eq(&rhs, 1e-10));
-    }
+        ensure!(lhs.approx_eq(&rhs, 1e-10));
+        Ok(())
+    });
 }

@@ -120,14 +120,14 @@ pub fn calinski_harabasz(x: &Matrix, labels: &[usize]) -> f64 {
         }
     }
     let mut between = 0.0;
-    for c in 0..k {
-        if sizes[c] > 0 {
-            between += sizes[c] as f64 * sq_dist(cents.row(c), &global);
+    for (c, &sz) in sizes.iter().enumerate() {
+        if sz > 0 {
+            between += sz as f64 * sq_dist(cents.row(c), &global);
         }
     }
     let mut within = 0.0;
-    for i in 0..n {
-        within += sq_dist(x.row(i), cents.row(labels[i]));
+    for (i, &l) in labels.iter().enumerate() {
+        within += sq_dist(x.row(i), cents.row(l));
     }
     if within == 0.0 {
         return f64::INFINITY;
@@ -152,9 +152,9 @@ fn centroids(x: &Matrix, labels: &[usize], k: usize) -> (Matrix, Vec<usize>) {
             *c += v;
         }
     }
-    for l in 0..k {
-        if sizes[l] > 0 {
-            let inv = 1.0 / sizes[l] as f64;
+    for (l, &sz) in sizes.iter().enumerate() {
+        if sz > 0 {
+            let inv = 1.0 / sz as f64;
             for c in cents.row_mut(l) {
                 *c *= inv;
             }

@@ -2,14 +2,19 @@
 //! perfect-score characterization, and Hungarian optimality against brute
 //! force.
 
-use proptest::prelude::*;
+use umsc_linalg::Matrix;
 use umsc_metrics::{
     adjusted_rand_index, clustering_accuracy, hungarian, nmi, pairwise_f_measure, purity,
 };
-use umsc_linalg::Matrix;
+use umsc_rt::check::{check, Config};
+use umsc_rt::{ensure, Rng};
 
-fn labels(n: usize, k: usize) -> impl Strategy<Value = Vec<usize>> {
-    prop::collection::vec(0..k, n)
+fn cfg() -> Config {
+    Config::cases(64)
+}
+
+fn labels(rng: &mut Rng, n: usize, k: usize) -> Vec<usize> {
+    (0..n).map(|_| rng.gen_range(0..k)).collect()
 }
 
 /// Applies a random relabeling permutation to cluster ids.
@@ -17,76 +22,97 @@ fn relabel(l: &[usize], shift: usize) -> Vec<usize> {
     l.iter().map(|&v| (v * 7 + shift) % 1000 + 100).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn metrics_in_range() {
+    check(&cfg(), |rng| (labels(rng, 20, 4), labels(rng, 20, 3)), |(p, t)| {
+        let acc = clustering_accuracy(p, t);
+        ensure!((0.0..=1.0).contains(&acc));
+        let m = nmi(p, t);
+        ensure!((0.0..=1.0).contains(&m));
+        let pu = purity(p, t);
+        ensure!((0.0..=1.0).contains(&pu));
+        let ari = adjusted_rand_index(p, t);
+        ensure!((-1.0..=1.0).contains(&ari));
+        let (f, pr, rc) = pairwise_f_measure(p, t);
+        ensure!((0.0..=1.0).contains(&f) && (0.0..=1.0).contains(&pr) && (0.0..=1.0).contains(&rc));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn metrics_in_range(p in labels(20, 4), t in labels(20, 3)) {
-        let acc = clustering_accuracy(&p, &t);
-        prop_assert!((0.0..=1.0).contains(&acc));
-        let m = nmi(&p, &t);
-        prop_assert!((0.0..=1.0).contains(&m));
-        let pu = purity(&p, &t);
-        prop_assert!((0.0..=1.0).contains(&pu));
-        let ari = adjusted_rand_index(&p, &t);
-        prop_assert!((-1.0..=1.0).contains(&ari));
-        let (f, pr, rc) = pairwise_f_measure(&p, &t);
-        prop_assert!((0.0..=1.0).contains(&f) && (0.0..=1.0).contains(&pr) && (0.0..=1.0).contains(&rc));
-    }
+#[test]
+fn label_naming_is_irrelevant() {
+    check(
+        &cfg(),
+        |rng| (labels(rng, 15, 3), labels(rng, 15, 3), rng.gen_range(0..50)),
+        |(p, t, s)| {
+            let p2 = relabel(p, *s);
+            ensure!((clustering_accuracy(p, t) - clustering_accuracy(&p2, t)).abs() < 1e-12);
+            ensure!((nmi(p, t) - nmi(&p2, t)).abs() < 1e-12);
+            ensure!((purity(p, t) - purity(&p2, t)).abs() < 1e-12);
+            ensure!((adjusted_rand_index(p, t) - adjusted_rand_index(&p2, t)).abs() < 1e-12);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn label_naming_is_irrelevant(p in labels(15, 3), t in labels(15, 3), s in 0usize..50) {
-        let p2 = relabel(&p, s);
-        prop_assert!((clustering_accuracy(&p, &t) - clustering_accuracy(&p2, &t)).abs() < 1e-12);
-        prop_assert!((nmi(&p, &t) - nmi(&p2, &t)).abs() < 1e-12);
-        prop_assert!((purity(&p, &t) - purity(&p2, &t)).abs() < 1e-12);
-        prop_assert!((adjusted_rand_index(&p, &t) - adjusted_rand_index(&p2, &t)).abs() < 1e-12);
-    }
+#[test]
+fn self_comparison_is_perfect() {
+    check(&cfg(), |rng| labels(rng, 12, 4), |t| {
+        ensure!(clustering_accuracy(t, t) == 1.0);
+        ensure!((nmi(t, t) - 1.0).abs() < 1e-12);
+        ensure!(purity(t, t) == 1.0);
+        ensure!((adjusted_rand_index(t, t) - 1.0).abs() < 1e-12);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn self_comparison_is_perfect(t in labels(12, 4)) {
-        prop_assert_eq!(clustering_accuracy(&t, &t), 1.0);
-        prop_assert!((nmi(&t, &t) - 1.0).abs() < 1e-12);
-        prop_assert_eq!(purity(&t, &t), 1.0);
-        prop_assert!((adjusted_rand_index(&t, &t) - 1.0).abs() < 1e-12);
-    }
+#[test]
+fn nmi_and_ari_symmetric() {
+    check(&cfg(), |rng| (labels(rng, 14, 3), labels(rng, 14, 4)), |(p, t)| {
+        ensure!((nmi(p, t) - nmi(t, p)).abs() < 1e-12);
+        ensure!((adjusted_rand_index(p, t) - adjusted_rand_index(t, p)).abs() < 1e-12);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn nmi_and_ari_symmetric(p in labels(14, 3), t in labels(14, 4)) {
-        prop_assert!((nmi(&p, &t) - nmi(&t, &p)).abs() < 1e-12);
-        prop_assert!((adjusted_rand_index(&p, &t) - adjusted_rand_index(&t, &p)).abs() < 1e-12);
-    }
-
-    #[test]
-    fn acc_at_least_max_class_frequency(t in labels(20, 3)) {
+#[test]
+fn acc_at_least_max_class_frequency() {
+    check(&cfg(), |rng| labels(rng, 20, 3), |t| {
         // Predicting a single cluster yields ACC = max class share, and the
         // optimal matching can never do worse than that for any predictor
         // compared with constant prediction.
         let constant = vec![0usize; t.len()];
-        let base = clustering_accuracy(&constant, &t);
+        let base = clustering_accuracy(&constant, t);
         let mut freq = std::collections::HashMap::new();
-        for &v in &t {
+        for &v in t {
             *freq.entry(v).or_insert(0usize) += 1;
         }
         let max_share = *freq.values().max().unwrap() as f64 / t.len() as f64;
-        prop_assert!((base - max_share).abs() < 1e-12);
-    }
+        ensure!((base - max_share).abs() < 1e-12);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn purity_upper_bounds_acc(p in labels(20, 4), t in labels(20, 4)) {
+#[test]
+fn purity_upper_bounds_acc() {
+    check(&cfg(), |rng| (labels(rng, 20, 4), labels(rng, 20, 4)), |(p, t)| {
         // The Hungarian matching is one-to-one, majority voting is not, so
         // purity ≥ ACC always.
-        prop_assert!(purity(&p, &t) + 1e-12 >= clustering_accuracy(&p, &t));
-    }
+        ensure!(purity(p, t) + 1e-12 >= clustering_accuracy(p, t));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn hungarian_beats_identity_and_any_shift(v in prop::collection::vec(0.0f64..10.0, 16)) {
-        let cost = Matrix::from_vec(4, 4, v);
+#[test]
+fn hungarian_beats_identity_and_any_shift() {
+    check(&cfg(), |rng| umsc_linalg::testkit::vector(rng, 16, 0.0, 10.0), |v| {
+        let cost = Matrix::from_vec(4, 4, v.clone());
         let a = hungarian(&cost);
         let opt: f64 = a.iter().enumerate().map(|(i, &j)| cost[(i, j)]).sum();
         for shift in 0..4usize {
             let c: f64 = (0..4).map(|i| cost[(i, (i + shift) % 4)]).sum();
-            prop_assert!(opt <= c + 1e-9);
+            ensure!(opt <= c + 1e-9);
         }
-    }
+        Ok(())
+    });
 }

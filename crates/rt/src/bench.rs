@@ -1,0 +1,123 @@
+//! Micro-bench timer (the in-tree replacement for `criterion`).
+//!
+//! Deliberately small: warm up, take N wall-clock samples of the closure,
+//! report min / median / mean. No statistical regression machinery — the
+//! bench binaries print a table and the numbers land in CHANGES.md /
+//! EXPERIMENTS.md by hand. Bench targets keep `harness = false` and call
+//! this from `main`, so `cargo bench` works exactly as before.
+//!
+//! ```
+//! use umsc_rt::bench::Bench;
+//! let mut b = Bench::new("demo").sample_size(3);
+//! let stats = b.run("sum_1k", || (0..1000u64).sum::<u64>());
+//! assert!(stats.min_ns > 0.0);
+//! ```
+
+use std::time::Instant;
+
+/// Summary statistics of one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Median sample.
+    pub median_ns: f64,
+    /// Mean of all samples.
+    pub mean_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+}
+
+/// A named group of benchmarks sharing a sample budget.
+pub struct Bench {
+    group: String,
+    sample_size: usize,
+    warmup: usize,
+}
+
+impl Bench {
+    /// New group with 10 samples and 2 warmup runs per benchmark.
+    pub fn new(group: &str) -> Self {
+        Bench { group: group.to_string(), sample_size: 10, warmup: 2 }
+    }
+
+    /// Replaces the per-benchmark sample count (builder style).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f`, prints a `group/id  min .. median .. max` line, and
+    /// returns the stats. The closure's result is passed through
+    /// [`std::hint::black_box`] so the computation is not optimized away.
+    pub fn run<R>(&mut self, id: &str, mut f: impl FnMut() -> R) -> Stats {
+        for _ in 0..self.warmup {
+            std::hint::black_box(f());
+        }
+        let mut samples: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                let t0 = Instant::now();
+                std::hint::black_box(f());
+                t0.elapsed().as_nanos() as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let stats = Stats {
+            min_ns: samples[0],
+            median_ns: samples[samples.len() / 2],
+            mean_ns: samples.iter().sum::<f64>() / samples.len() as f64,
+            max_ns: *samples.last().expect("sample_size >= 1"),
+        };
+        println!(
+            "{:<48} {:>10} .. {:>10} .. {:>10}  (mean {})",
+            format!("{}/{}", self.group, id),
+            fmt_ns(stats.min_ns),
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.max_ns),
+            fmt_ns(stats.mean_ns),
+        );
+        stats
+    }
+}
+
+/// Human-readable duration from nanoseconds.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_are_ordered_and_positive() {
+        let mut b = Bench::new("test").sample_size(5);
+        let s = b.run("spin", || {
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(s.min_ns > 0.0);
+        assert!(s.min_ns <= s.median_ns);
+        assert!(s.median_ns <= s.max_ns);
+        assert!(s.mean_ns >= s.min_ns && s.mean_ns <= s.max_ns);
+    }
+
+    #[test]
+    fn formatting_covers_magnitudes() {
+        assert_eq!(fmt_ns(500.0), "500 ns");
+        assert_eq!(fmt_ns(1_500.0), "1.50 µs");
+        assert_eq!(fmt_ns(2_500_000.0), "2.50 ms");
+        assert_eq!(fmt_ns(3_200_000_000.0), "3.200 s");
+    }
+}

@@ -1,0 +1,346 @@
+//! Seeded property-test harness (the in-tree replacement for `proptest`).
+//!
+//! A property test here is three pieces:
+//!
+//! * a **generator** `Fn(&mut Rng) -> T` building a random input;
+//! * a **property** `Fn(&T) -> Result<(), String>` returning `Err` (or
+//!   panicking) on violation — the [`crate::ensure!`] macro gives
+//!   `prop_assert!`-style ergonomics;
+//! * the driver [`check`], which runs N seeded cases and, on failure,
+//!   **minimizes** the counterexample by greedily descending through
+//!   [`Shrink`] candidates while the property keeps failing.
+//!
+//! Unlike proptest there is no persistence file: failures print the seed
+//! and case number, and the stream is pinned (see [`crate::rng`]), so a
+//! failure reproduces by just re-running the test.
+
+use crate::rng::Rng;
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of random cases to run.
+    pub cases: usize,
+    /// Base seed of the case stream.
+    pub seed: u64,
+    /// Cap on property evaluations spent minimizing a failure.
+    pub max_shrink_evals: usize,
+}
+
+impl Config {
+    /// `cases` random cases on the default seed.
+    pub fn cases(cases: usize) -> Self {
+        Config { cases, seed: 0x5eed_cafe, max_shrink_evals: 400 }
+    }
+
+    /// Replaces the seed (builder style).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Types that can propose strictly-"smaller" variants of themselves for
+/// counterexample minimization. An empty candidate list (the default)
+/// means the value is atomic.
+///
+/// Shrinking must preserve *structure* (lengths, shapes) — properties are
+/// entitled to assume whatever the generator guaranteed. Numeric shrinks
+/// therefore move entries toward zero rather than dropping them.
+pub trait Shrink: Sized {
+    /// Candidate smaller values, in decreasing order of aggressiveness.
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+impl Shrink for f64 {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        for cand in [0.0, self / 2.0, self.trunc()] {
+            if cand != *self && cand.is_finite() && !out.contains(&cand) {
+                out.push(cand);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_shrink_uint {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            /// Binary-search ladder toward zero: `0, v/2, v−v/4, …, v−1`.
+            /// Greedy descent through it converges to a boundary in
+            /// `O(log v)` property evaluations instead of `O(v)`.
+            fn shrink(&self) -> Vec<Self> {
+                if *self == 0 {
+                    return Vec::new();
+                }
+                let mut out = vec![0];
+                let mut delta = *self / 2;
+                while delta > 0 {
+                    let cand = *self - delta;
+                    if !out.contains(&cand) {
+                        out.push(cand);
+                    }
+                    delta /= 2;
+                }
+                out
+            }
+        }
+    )*};
+}
+impl_shrink_uint!(usize, u64, u32, u8);
+
+impl<T: Shrink + Clone> Shrink for Vec<T> {
+    /// Shrinks pointwise-toward-zero in three coarse moves (all, first
+    /// half, second half), then single elements — length is preserved.
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        let halves = |r: std::ops::Range<usize>| {
+            let mut c = self.clone();
+            let mut changed = false;
+            for i in r {
+                if let Some(s) = self[i].shrink().first() {
+                    c[i] = s.clone();
+                    changed = true;
+                }
+            }
+            changed.then_some(c)
+        };
+        let n = self.len();
+        out.extend(halves(0..n));
+        if n >= 2 {
+            out.extend(halves(0..n / 2));
+            out.extend(halves(n / 2..n));
+        }
+        // Individual elements (bounded so huge vectors don't explode the
+        // candidate list).
+        for i in 0..n.min(8) {
+            for s in self[i].shrink() {
+                let mut c = self.clone();
+                c[i] = s;
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_shrink_tuple {
+    ($(($($name:ident : $idx:tt),+)),+) => {$(
+        impl<$($name: Shrink + Clone),+> Shrink for ($($name,)+) {
+            fn shrink(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                $(
+                    for s in self.$idx.shrink() {
+                        let mut c = self.clone();
+                        c.$idx = s;
+                        out.push(c);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+impl_shrink_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+);
+
+/// Evaluates the property, converting panics into failures so that
+/// assertion-style properties (and library invariant panics) are caught
+/// and minimized like `Err` returns.
+fn fails<T>(prop: &impl Fn(&T) -> Result<(), String>, input: &T) -> Option<String> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| prop(input))) {
+        Ok(Ok(())) => None,
+        Ok(Err(msg)) => Some(msg),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            Some(format!("panicked: {msg}"))
+        }
+    }
+}
+
+/// Runs `cfg.cases` random cases of `prop` over inputs from `gen`,
+/// minimizing and reporting the first counterexample.
+///
+/// ```should_panic
+/// use umsc_rt::{check, ensure, Config};
+/// check(&Config::cases(64), |rng| rng.gen_range(0..1000), |&n| {
+///     ensure!(n < 900, "n = {n}");
+///     Ok(())
+/// });
+/// ```
+pub fn check<T, G, P>(cfg: &Config, mut gen: G, prop: P)
+where
+    T: Clone + std::fmt::Debug + Shrink,
+    G: FnMut(&mut Rng) -> T,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let mut rng = Rng::from_seed(cfg.seed);
+    for case in 0..cfg.cases {
+        let input = gen(&mut rng);
+        let Some(first_msg) = fails(&prop, &input) else { continue };
+
+        // Greedy minimization: take the first still-failing candidate,
+        // restart from it, stop when no candidate fails or budget is out.
+        let mut cur = input.clone();
+        let mut cur_msg = first_msg.clone();
+        let mut evals = 0usize;
+        'minimize: while evals < cfg.max_shrink_evals {
+            for cand in cur.shrink() {
+                evals += 1;
+                if let Some(msg) = fails(&prop, &cand) {
+                    cur = cand;
+                    cur_msg = msg;
+                    continue 'minimize;
+                }
+                if evals >= cfg.max_shrink_evals {
+                    break;
+                }
+            }
+            break;
+        }
+
+        panic!(
+            "property failed at case {case}/{} (seed {:#x})\n\
+             minimized input ({evals} shrink evals): {cur:#?}\n\
+             minimized failure: {cur_msg}\n\
+             original input: {input:#?}\n\
+             original failure: {first_msg}",
+            cfg.cases, cfg.seed,
+        );
+    }
+}
+
+/// `prop_assert!`-style early return for [`check`] properties: evaluates
+/// the condition and returns `Err(message)` from the enclosing function
+/// when it fails.
+#[macro_export]
+macro_rules! ensure {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("ensure failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!("ensure failed: {}: {}", stringify!($cond), format!($($fmt)+)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut seen = 0usize;
+        check(&Config::cases(37), |rng| rng.gen_range(0..10), |_| Ok(())); // smoke
+        check(
+            &Config::cases(37),
+            |rng| {
+                seen += 1;
+                rng.gen_range(0..10)
+            },
+            |&v| {
+                if v < 10 {
+                    Ok(())
+                } else {
+                    Err("out of range".into())
+                }
+            },
+        );
+        assert_eq!(seen, 37);
+    }
+
+    #[test]
+    fn failing_property_reports_and_minimizes() {
+        let caught = std::panic::catch_unwind(|| {
+            check(&Config::cases(100), |rng| rng.gen_range(0..10_000), |&n| {
+                if n < 500 {
+                    Ok(())
+                } else {
+                    Err(format!("too big: {n}"))
+                }
+            });
+        });
+        let msg_any = caught.expect_err("property must fail");
+        let msg = msg_any.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("property failed"), "{msg}");
+        // Greedy halving from anywhere in [500, 10000) lands exactly at
+        // the boundary of the predicate.
+        assert!(msg.contains("minimized input"), "{msg}");
+        assert!(msg.contains("500"), "should minimize to the boundary: {msg}");
+    }
+
+    #[test]
+    fn panicking_property_is_caught_and_reported() {
+        let caught = std::panic::catch_unwind(|| {
+            check(&Config::cases(10), |rng| rng.gen_range(0..100), |&n| {
+                assert!(n > 1_000, "impossible");
+                Ok(())
+            });
+        });
+        let msg_any = caught.expect_err("must fail");
+        let msg = msg_any.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("panicked"), "{msg}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let collect = |seed: u64| {
+            let mut vals = Vec::new();
+            check(&Config::cases(20).seed(seed), |rng| rng.next_u64(), |&v| {
+                let _ = v;
+                Ok(())
+            });
+            let mut rng = Rng::from_seed(seed);
+            for _ in 0..20 {
+                vals.push(rng.next_u64());
+            }
+            vals
+        };
+        assert_eq!(collect(7), collect(7));
+        assert_ne!(collect(7), collect(8));
+    }
+
+    #[test]
+    fn shrink_impls_preserve_structure() {
+        let v = vec![4.0f64, -2.0, 0.0];
+        for cand in v.shrink() {
+            assert_eq!(cand.len(), v.len());
+        }
+        let seven = 7usize.shrink();
+        assert!(seven.contains(&0) && seven.contains(&6), "{seven:?}");
+        assert!(seven.iter().all(|&c| c < 7), "{seven:?}");
+        assert!(0usize.shrink().is_empty());
+        let t = (8usize, 1.5f64);
+        assert!(!t.shrink().is_empty());
+        for (a, b) in t.shrink() {
+            assert!(a < 8 || b.abs() < 1.5);
+        }
+    }
+
+    #[test]
+    fn ensure_macro_formats() {
+        fn prop(n: usize) -> Result<(), String> {
+            ensure!(n < 5, "got {n}");
+            Ok(())
+        }
+        assert!(prop(3).is_ok());
+        let e = prop(9).unwrap_err();
+        assert!(e.contains("n < 5") && e.contains("got 9"), "{e}");
+    }
+}

@@ -1,0 +1,33 @@
+//! # umsc-rt
+//!
+//! The zero-dependency runtime substrate of the workspace. Every other
+//! crate builds on the numerics in `umsc-linalg`; this crate sits one
+//! level below even that and supplies the three things the workspace used
+//! to pull from crates.io — so the whole build is hermetic (`--offline`
+//! clean, no registry access ever):
+//!
+//! * [`rng`] — a splitmix64-seeded xoshiro256\*\* PRNG with the helpers
+//!   the dataset generators and k-means++ actually use (`gen_range`,
+//!   standard normals, `shuffle`, `choose_weighted`). Replaces `rand`.
+//!   The stream is pinned by golden-value tests: dataset seeds documented
+//!   in papers/experiments stay reproducible across refactors.
+//! * [`par`] — a std-only scoped thread pool capped at
+//!   `available_parallelism` (overridable via the `UMSC_THREADS`
+//!   environment variable), exposing [`par::parallel_map`] /
+//!   [`par::parallel_chunks_mut`]. The hot kernels (GEMM, pairwise
+//!   distances, per-view Laplacian construction, k-means assignment
+//!   sweeps) thread through it and are bitwise-identical to their
+//!   sequential paths by construction: work is partitioned into
+//!   contiguous, independently-computed blocks and reassembled in order.
+//! * [`check`] + [`bench`] — a seeded property-test harness (N random
+//!   cases, input minimization on failure) and a micro-bench timer.
+//!   Replace `proptest` and `criterion` for the suites in
+//!   `crates/*/tests` and `crates/bench/benches`.
+
+pub mod bench;
+pub mod check;
+pub mod par;
+pub mod rng;
+
+pub use check::{check, Config, Shrink};
+pub use rng::Rng;

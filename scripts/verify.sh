@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Hermetic-build gate: the whole workspace must build, test and lint
+# offline (no registry, no network) from a clean checkout.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --workspace --release --offline
+cargo test -q --workspace --offline
+cargo clippy --workspace --offline --all-targets -- -D warnings
+
+echo "verify: OK (offline build + tests + clippy)"
