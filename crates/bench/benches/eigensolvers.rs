@@ -4,7 +4,7 @@
 
 use std::hint::black_box;
 use umsc_linalg::{jacobi_eigen, lanczos_smallest, LanczosConfig, Matrix, SymEigen};
-use umsc_rt::bench::Bench;
+use umsc_rt::bench::{smoke, Bench};
 
 fn laplacian_like(n: usize) -> Matrix {
     // Banded symmetric diagonally-dominant matrix (Laplacian-shaped).
@@ -24,25 +24,25 @@ fn laplacian_like(n: usize) -> Matrix {
     m
 }
 
-fn bench_dense_eigen() {
-    let mut g = Bench::new("dense_eigen_full_spectrum").sample_size(10);
-    for &n in &[32usize, 64, 128, 256] {
+fn bench_dense_eigen(samples: usize, sizes: &[usize], jacobi_cap: usize) {
+    let mut g = Bench::new("dense_eigen_full_spectrum").sample_size(samples);
+    for &n in sizes {
         let a = laplacian_like(n);
         g.run(&format!("ql_tridiag/{n}"), || SymEigen::compute_unchecked(black_box(&a)).unwrap());
-        if n <= 128 {
+        if n <= jacobi_cap {
             g.run(&format!("jacobi/{n}"), || jacobi_eigen(black_box(&a)).unwrap());
         }
     }
 }
 
-fn bench_partial_eigen() {
-    let mut g = Bench::new("partial_eigen_smallest_8").sample_size(10);
-    for &n in &[128usize, 256, 512, 1024] {
+fn bench_partial_eigen(samples: usize, sizes: &[usize], dense_cap: usize) {
+    let mut g = Bench::new("partial_eigen_smallest_8").sample_size(samples);
+    for &n in sizes {
         let a = laplacian_like(n);
         g.run(&format!("lanczos/{n}"), || {
             lanczos_smallest(black_box(&a), 8, &LanczosConfig::default()).unwrap()
         });
-        if n <= 512 {
+        if n <= dense_cap {
             g.run(&format!("dense_then_slice/{n}"), || {
                 SymEigen::compute_unchecked(black_box(&a)).unwrap().smallest(8)
             });
@@ -51,6 +51,11 @@ fn bench_partial_eigen() {
 }
 
 fn main() {
-    bench_dense_eigen();
-    bench_partial_eigen();
+    if smoke() {
+        bench_dense_eigen(2, &[32], 32);
+        bench_partial_eigen(2, &[48], 48);
+    } else {
+        bench_dense_eigen(10, &[32, 64, 128, 256], 128);
+        bench_partial_eigen(10, &[128, 256, 512, 1024], 512);
+    }
 }

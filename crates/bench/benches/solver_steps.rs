@@ -4,9 +4,13 @@
 //! everything downstream is cheap, which is why the one-stage loop costs
 //! little more than a single two-stage embedding.
 //!
-//! Also measures the threaded vs sequential per-view Laplacian build (the
-//! hot path parallelized by `umsc-rt`); the speedup line is only
-//! meaningful on a multi-core machine.
+//! Also measures the threaded vs sequential per-view Laplacian build and
+//! the cache-blocked GEMM against the naive row kernel (the speedup lines
+//! are only meaningful on a multi-core machine; the ≥2x GEMM assertion is
+//! gated on ≥4 cores so single-core CI still records honest numbers).
+//!
+//! `UMSC_BENCH_SMOKE=1` shrinks every problem to smoke scale so
+//! `scripts/verify.sh` can exercise the harness end to end in seconds.
 
 use std::hint::black_box;
 use umsc_core::indicator::{discretize_rows, labels_to_indicator};
@@ -16,10 +20,15 @@ use umsc_core::pipeline::{
 use umsc_core::{gpi_stiefel, init_rotation};
 use umsc_data::synth::{MultiViewGmm, ViewSpec};
 use umsc_linalg::{procrustes, Matrix};
-use umsc_rt::bench::Bench;
+use umsc_rt::bench::{smoke, Bench};
 
-fn setup() -> (Vec<Matrix>, Matrix, Matrix, Matrix, umsc_data::MultiViewDataset) {
-    let mut gen = MultiViewGmm::new("bench", 5, 50, vec![ViewSpec::clean(20), ViewSpec::clean(30)]);
+fn setup(per_cluster: usize) -> (Vec<Matrix>, Matrix, Matrix, Matrix, umsc_data::MultiViewDataset) {
+    let mut gen = MultiViewGmm::new(
+        "bench",
+        5,
+        per_cluster,
+        vec![ViewSpec::clean(20), ViewSpec::clean(30)],
+    );
     gen.separation = 4.0;
     let data = gen.generate(2);
     let laplacians = build_view_laplacians(&data, &GraphConfig::default()).unwrap();
@@ -33,10 +42,10 @@ fn setup() -> (Vec<Matrix>, Matrix, Matrix, Matrix, umsc_data::MultiViewDataset)
     (laplacians, fused, f, y, data)
 }
 
-fn main() {
-    let (laplacians, fused, f, y, data) = setup();
+fn bench_solver_blocks(samples: usize, per_cluster: usize) {
+    let (laplacians, fused, f, y, data) = setup(per_cluster);
     let n = fused.rows();
-    let mut g = Bench::new(&format!("solver_steps_n{n}_c5")).sample_size(10);
+    let mut g = Bench::new(&format!("solver_steps_n{n}_c5")).sample_size(samples);
 
     g.run("embedding_eigensolve", || spectral_embedding(black_box(&fused), 5, 0).unwrap());
     let b_mat = y.matmul_transpose_b(&Matrix::identity(5)).scale(0.01);
@@ -69,4 +78,53 @@ fn main() {
         "per_view_laplacians speedup at {threads} threads: {:.2}x",
         seq.median_ns / par.median_ns
     );
+}
+
+/// Square GEMM: the cache-blocked packed kernel (what `Matrix::matmul`
+/// dispatches to for wide outputs) vs the naive row kernel at one thread.
+/// This is the tentpole's headline number; the trajectory file records it
+/// at every size so future PRs can track regressions.
+fn bench_square_gemm(samples: usize, sizes: &[usize]) {
+    let threads = umsc_rt::par::max_threads();
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let mut g = Bench::new("square_gemm").sample_size(samples);
+
+    for &n in sizes {
+        let a = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 7) as f64).sin());
+        let b = Matrix::from_fn(n, n, |i, j| ((i * 13 + j * 17) as f64).cos());
+
+        // Bitwise spot-check before timing: every kernel path must agree.
+        let reference = a.matmul_naive_with(1, &b);
+        let blocked = a.matmul_tiled_with(threads, 32, 64, &b);
+        assert_eq!(reference.as_slice(), blocked.as_slice(), "GEMM paths diverge at n={n}");
+        assert_eq!(reference.as_slice(), a.matmul(&b).as_slice(), "dispatch diverges at n={n}");
+
+        let naive = g.run(&format!("naive_seq/{n}"), || a.matmul_naive_with(1, black_box(&b)));
+        g.run(&format!("blocked_seq/{n}"), || {
+            black_box(&a).matmul_tiled_with(1, 32, 64, black_box(&b))
+        });
+        let fast =
+            g.run(&format!("dispatch_t{threads}/{n}"), || black_box(&a).matmul(black_box(&b)));
+        let speedup = naive.median_ns / fast.median_ns;
+        println!("square_gemm speedup at n={n}, {threads} threads: {speedup:.2}x");
+
+        // ≥2x on the headline size — only meaningful with real parallelism,
+        // so gate on core count rather than fail honest single-core runs.
+        if n >= 512 && cores >= 4 && threads >= 4 {
+            assert!(
+                speedup >= 2.0,
+                "blocked GEMM at n={n} only {speedup:.2}x over naive on {cores} cores"
+            );
+        }
+    }
+}
+
+fn main() {
+    if smoke() {
+        bench_solver_blocks(2, 8);
+        bench_square_gemm(2, &[48]);
+    } else {
+        bench_solver_blocks(10, 50);
+        bench_square_gemm(5, &[128, 256, 512]);
+    }
 }

@@ -17,6 +17,7 @@
 //! Criterion microbenches for the substrate live in `benches/`.
 
 pub mod figures;
+pub mod json;
 pub mod report;
 pub mod runner;
 pub mod tables;

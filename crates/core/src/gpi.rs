@@ -20,12 +20,60 @@
 //! rotated indicator.
 
 use crate::Result;
-use umsc_linalg::{polar_orthogonalize, Matrix};
+use umsc_linalg::{polar_orthogonalize_into, Matrix, SvdScratch};
 
 /// Objective value `tr(FᵀAF) − 2·tr(FᵀB)`.
 pub fn gpi_objective(a: &Matrix, b: &Matrix, f: &Matrix) -> f64 {
-    let af = a.matmul(f);
-    f.matmul_transpose_a(&af).trace() - 2.0 * f.matmul_transpose_a(b).trace()
+    let (n, k) = f.shape();
+    let mut af = Matrix::zeros(n, k);
+    let mut cc = Matrix::zeros(k, k);
+    gpi_objective_ws(a, b, f, &mut af, &mut cc)
+}
+
+/// [`gpi_objective`] through caller-provided scratch (`af` is `n × k`,
+/// `cc` is `k × k`): allocation-free, numerically identical.
+fn gpi_objective_ws(a: &Matrix, b: &Matrix, f: &Matrix, af: &mut Matrix, cc: &mut Matrix) -> f64 {
+    a.matmul_into(f, af);
+    f.matmul_transpose_a_into(af, cc);
+    let quad = cc.trace();
+    f.matmul_transpose_a_into(b, cc);
+    quad - 2.0 * cc.trace()
+}
+
+/// Reusable buffers for [`gpi_stiefel_ws`]: the shifted iterate `M`, the
+/// product `A·F`, a `k × k` trace scratch, and the SVD scratch backing the
+/// polar projection. Grow-only — reusing one workspace across outer solver
+/// iterations makes the whole GPI inner loop allocation-free.
+#[derive(Debug, Clone)]
+pub struct GpiWorkspace {
+    pub(crate) m: Matrix,
+    pub(crate) af: Matrix,
+    pub(crate) cc: Matrix,
+    pub(crate) svd: SvdScratch,
+}
+
+impl GpiWorkspace {
+    /// An empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        GpiWorkspace {
+            m: Matrix::zeros(0, 0),
+            af: Matrix::zeros(0, 0),
+            cc: Matrix::zeros(0, 0),
+            svd: SvdScratch::new(),
+        }
+    }
+
+    pub(crate) fn ensure(&mut self, n: usize, k: usize) {
+        crate::workspace::ensure_shape(&mut self.m, n, k);
+        crate::workspace::ensure_shape(&mut self.af, n, k);
+        crate::workspace::ensure_shape(&mut self.cc, k, k);
+    }
+}
+
+impl Default for GpiWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// Runs GPI from the initial Stiefel point `f0`.
@@ -38,33 +86,54 @@ pub fn gpi_objective(a: &Matrix, b: &Matrix, f: &Matrix) -> f64 {
 /// # Panics
 /// Panics on shape mismatch.
 pub fn gpi_stiefel(a: &Matrix, b: &Matrix, f0: &Matrix, max_iter: usize, tol: f64) -> Result<Matrix> {
-    let (n, k) = f0.shape();
+    let mut f = f0.clone();
+    gpi_stiefel_ws(a, b, &mut f, max_iter, tol, &mut GpiWorkspace::new())?;
+    Ok(f)
+}
+
+/// [`gpi_stiefel`] advancing `f` in place through a reusable
+/// [`GpiWorkspace`]: allocation-free once the workspace is warm, and
+/// numerically identical to the allocating version.
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn gpi_stiefel_ws(
+    a: &Matrix,
+    b: &Matrix,
+    f: &mut Matrix,
+    max_iter: usize,
+    tol: f64,
+    ws: &mut GpiWorkspace,
+) -> Result<()> {
+    let (n, k) = f.shape();
     assert!(a.is_square() && a.rows() == n, "gpi_stiefel: A must be {n}x{n}");
     assert_eq!(b.shape(), (n, k), "gpi_stiefel: B must be {n}x{k}");
     assert!(n >= k, "gpi_stiefel: need n >= k");
+    ws.ensure(n, k);
+    let GpiWorkspace { m, af, cc, svd } = ws;
 
     // Safe shift: Gershgorin bound with a small positive margin so ηI − A
     // stays PSD even under rounding.
     let eta = a.gershgorin_upper_bound().max(0.0) + 1e-9;
 
-    let mut f = f0.clone();
-    let mut prev = gpi_objective(a, b, &f);
+    let mut prev = gpi_objective_ws(a, b, f, af, cc);
     for _ in 0..max_iter.max(1) {
         // M = (ηI − A)F + B = η·F − A·F + B.
-        let mut m = f.scale(eta);
-        let af = a.matmul(&f);
-        m.axpy(-1.0, &af);
+        m.copy_from(f);
+        m.scale_mut(eta);
+        a.matmul_into(f, af);
+        m.axpy(-1.0, af);
         m.axpy(1.0, b);
-        f = polar_orthogonalize(&m)?;
-        let obj = gpi_objective(a, b, &f);
+        polar_orthogonalize_into(m, svd, f)?;
+        let obj = gpi_objective_ws(a, b, f, af, cc);
         // Monotone by theory; the guard tolerates rounding.
         debug_assert!(obj <= prev + 1e-7 * (1.0 + prev.abs()), "GPI objective increased: {prev} -> {obj}");
         if (prev - obj).abs() <= tol * (1.0 + prev.abs()) {
-            return Ok(f);
+            return Ok(());
         }
         prev = obj;
     }
-    Ok(f)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -15,11 +15,23 @@ use umsc_linalg::Matrix;
 /// Panics if any label is `≥ c`.
 pub fn labels_to_indicator(labels: &[usize], c: usize) -> Matrix {
     let mut y = Matrix::zeros(labels.len(), c);
+    labels_to_indicator_into(labels, &mut y);
+    y
+}
+
+/// [`labels_to_indicator`] writing into an existing `n × c` matrix (fully
+/// overwritten) — the solver hot loop's allocation-free variant.
+///
+/// # Panics
+/// Panics if any label is `≥ y.cols()` or `y.rows() != labels.len()`.
+pub fn labels_to_indicator_into(labels: &[usize], y: &mut Matrix) {
+    let c = y.cols();
+    assert_eq!(y.rows(), labels.len(), "labels_to_indicator_into: row count mismatch");
+    y.as_mut_slice().fill(0.0);
     for (i, &l) in labels.iter().enumerate() {
         assert!(l < c, "labels_to_indicator: label {l} out of range 0..{c}");
         y[(i, l)] = 1.0;
     }
-    y
 }
 
 /// Reads labels off an indicator (row-wise argmax; ties → first).
@@ -30,15 +42,28 @@ pub fn indicator_to_labels(y: &Matrix) -> Vec<usize> {
 /// Scaled indicator `Y (YᵀY)^{-1/2}`: columns are orthonormal, column `j`
 /// scaled by `1/√n_j`. Empty clusters get scale 0 (guarded).
 pub fn scaled_indicator(y: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(y.rows(), y.cols());
+    scaled_indicator_into(y, &mut Vec::new(), &mut out);
+    out
+}
+
+/// [`scaled_indicator`] writing into an existing matrix through a reusable
+/// size buffer — allocation-free once `sizes` has capacity `c`.
+///
+/// # Panics
+/// Panics if `out` has a different shape than `y`.
+pub fn scaled_indicator_into(y: &Matrix, sizes: &mut Vec<f64>, out: &mut Matrix) {
     let (n, c) = y.shape();
+    assert_eq!(out.shape(), y.shape(), "scaled_indicator_into: out shape mismatch");
     // YᵀY is diagonal with cluster sizes for a valid indicator.
-    let mut sizes = vec![0.0f64; c];
+    sizes.clear();
+    sizes.resize(c, 0.0);
     for i in 0..n {
         for (j, &v) in y.row(i).iter().enumerate() {
             sizes[j] += v * v;
         }
     }
-    let mut out = y.clone();
+    out.copy_from(y);
     for i in 0..n {
         for (j, v) in out.row_mut(i).iter_mut().enumerate() {
             if sizes[j] > 0.0 {
@@ -46,7 +71,6 @@ pub fn scaled_indicator(y: &Matrix) -> Matrix {
             }
         }
     }
-    out
 }
 
 /// The exact `Y`-step: `Y_ij = 1` iff `j = argmax_j (FR)_ij`, followed by
@@ -57,14 +81,24 @@ pub fn scaled_indicator(y: &Matrix) -> Matrix {
 ///
 /// Returns the label vector; build `Y` with [`labels_to_indicator`].
 pub fn discretize_rows(fr: &Matrix) -> Vec<usize> {
+    let mut labels = Vec::new();
+    discretize_rows_into(fr, &mut labels, &mut Vec::new());
+    labels
+}
+
+/// [`discretize_rows`] writing into reusable label/count buffers —
+/// allocation-free once the buffers have capacity `n` and `c`.
+pub fn discretize_rows_into(fr: &Matrix, labels: &mut Vec<usize>, counts: &mut Vec<usize>) {
     let (n, c) = fr.shape();
-    let mut labels: Vec<usize> = (0..n).map(|i| argmax(fr.row(i)).unwrap_or(0)).collect();
+    labels.clear();
+    labels.extend((0..n).map(|i| argmax(fr.row(i)).unwrap_or(0)));
     if n < c {
-        return labels; // cannot fill every cluster; caller validates.
+        return; // cannot fill every cluster; caller validates.
     }
     // Repair empty clusters, cheapest moves first.
-    let mut counts = vec![0usize; c];
-    for &l in &labels {
+    counts.clear();
+    counts.resize(c, 0);
+    for &l in labels.iter() {
         counts[l] += 1;
     }
     for j in 0..c {
@@ -88,7 +122,6 @@ pub fn discretize_rows(fr: &Matrix) -> Vec<usize> {
             counts[j] += 1;
         }
     }
-    labels
 }
 
 /// The exact `Y`-step of the **scaled-rotation** objective
@@ -104,11 +137,29 @@ pub fn discretize_rows(fr: &Matrix) -> Vec<usize> {
 ///
 /// Clusters are kept non-empty throughout.
 pub fn discretize_scaled(g: &Matrix, init: &[usize], max_passes: usize) -> Vec<usize> {
-    let (n, c) = g.shape();
-    assert_eq!(init.len(), n, "discretize_scaled: init length mismatch");
     let mut labels = init.to_vec();
-    let mut sizes = vec![0usize; c];
-    let mut sums = vec![0.0f64; c];
+    discretize_scaled_inplace(g, &mut labels, max_passes, &mut Vec::new(), &mut Vec::new());
+    labels
+}
+
+/// [`discretize_scaled`] refining a label vector in place through reusable
+/// size/sum buffers — allocation-free once the buffers have capacity `c`.
+///
+/// # Panics
+/// Panics if `labels.len() != g.rows()` or any label is `≥ g.cols()`.
+pub fn discretize_scaled_inplace(
+    g: &Matrix,
+    labels: &mut [usize],
+    max_passes: usize,
+    sizes: &mut Vec<usize>,
+    sums: &mut Vec<f64>,
+) {
+    let (n, c) = g.shape();
+    assert_eq!(labels.len(), n, "discretize_scaled: init length mismatch");
+    sizes.clear();
+    sizes.resize(c, 0);
+    sums.clear();
+    sums.resize(c, 0.0);
     for (i, &l) in labels.iter().enumerate() {
         assert!(l < c, "discretize_scaled: label {l} out of range");
         sizes[l] += 1;
@@ -151,7 +202,6 @@ pub fn discretize_scaled(g: &Matrix, init: &[usize], max_passes: usize) -> Vec<u
             break;
         }
     }
-    labels
 }
 
 #[cfg(test)]

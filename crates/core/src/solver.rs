@@ -17,13 +17,17 @@
 
 use crate::config::{Discretization, UmscConfig, Weighting};
 use crate::error::UmscError;
-use crate::gpi::gpi_stiefel;
-use crate::indicator::{discretize_rows, labels_to_indicator, scaled_indicator};
+use crate::gpi::gpi_stiefel_ws;
+use crate::indicator::{
+    discretize_rows, discretize_rows_into, discretize_scaled_inplace, labels_to_indicator,
+    labels_to_indicator_into, scaled_indicator_into,
+};
 use crate::pipeline::{build_view_laplacians, spectral_embedding};
+use crate::workspace::SolverWorkspace;
 use crate::Result;
 use umsc_data::MultiViewDataset;
 use umsc_kmeans::{kmeans, KMeansConfig};
-use umsc_linalg::{procrustes, Matrix};
+use umsc_linalg::{procrustes, procrustes_into, Matrix};
 
 /// Snapshot of one outer iteration (for convergence plots).
 #[derive(Debug, Clone)]
@@ -57,6 +61,35 @@ pub struct UmscResult {
     pub history: Vec<IterationStats>,
     /// Whether the outer loop hit the tolerance before `max_iter`.
     pub converged: bool,
+}
+
+/// Mutable block-coordinate state advanced by [`Umsc::one_step_solve`]:
+/// the embedding `F`, rotation `R`, indicator `Y` (with its label vector),
+/// and the current view weights. Create with [`Umsc::init_solver_state`].
+#[derive(Debug, Clone)]
+pub struct SolverState {
+    /// Spectral embedding `F` (`n × c`, orthonormal columns).
+    pub f: Matrix,
+    /// Spectral rotation `R` (`c × c`, orthogonal).
+    pub r: Matrix,
+    /// Discrete indicator `Y` (`n × c`, 0/1).
+    pub y: Matrix,
+    /// Labels matching `y` (row-wise argmax).
+    pub labels: Vec<usize>,
+    /// Unnormalized view weights `w_v`.
+    pub weights: Vec<f64>,
+}
+
+/// Scalar outputs of one BCD sweep (see [`IterationStats`] for the
+/// history-entry form, which additionally snapshots the weights).
+#[derive(Debug, Clone, Copy)]
+pub struct StepStats {
+    /// Total objective (embedding term + rotation term).
+    pub objective: f64,
+    /// Graph-fusion term of the objective.
+    pub embedding_term: f64,
+    /// Discretization alignment term `λ‖FR − Y_eff‖²`.
+    pub rotation_term: f64,
 }
 
 /// The unified multi-view spectral clustering model.
@@ -168,85 +201,29 @@ impl Umsc {
     /// One-stage BCD (the paper's method).
     fn fit_one_stage(&self, laplacians: &[Matrix]) -> Result<UmscResult> {
         let cfg = &self.config;
-        let c = cfg.num_clusters;
-        let n = laplacians[0].rows();
-        let scaled = cfg.discretization == Discretization::ScaledRotation;
-        // The alignment term ‖FR − Y‖² grows with n while the Rayleigh term
-        // tr(FᵀLF) is O(c), so λ is normalized by c/(10n): dimensionless
-        // across dataset sizes, with λ = 1 sitting inside the stable
-        // plateau of the sensitivity curve (figure F2) rather than at its
-        // edge — the alignment term refines the warm-started embedding
-        // instead of overruling the graphs.
-        let lambda_eff = cfg.lambda * c as f64 / (10.0 * n as f64);
-
-        // Init: warm-start F at the solution of the relaxed problem (λ→0),
-        // i.e. the converged (re-weighted) spectral embedding. Starting the
-        // joint loop from the unweighted mean Laplacian instead lets noisy
-        // views pollute the first indicator, and the alignment feedback
-        // then locks the bad start in. The rotation is initialized by the
-        // Yu–Shi scheme (raw argmax on F degenerates because the first
-        // Laplacian eigenvector is near-constant).
-        let mut f = self.warm_start_embedding(laplacians)?;
-        let mut r = init_rotation(&f)?;
-        let mut labels = discretize_rows(&f.matmul(&r));
-        let mut y = labels_to_indicator(&labels, c);
-
+        let mut st = self.init_solver_state(laplacians)?;
+        let mut ws = SolverWorkspace::new();
         let mut history: Vec<IterationStats> = Vec::with_capacity(cfg.max_iter);
         let mut converged = false;
-        let mut weights = vec![1.0 / laplacians.len() as f64; laplacians.len()];
 
         for _iter in 0..cfg.max_iter {
-            // --- w-step ---
-            let traces = view_traces(laplacians, &f);
-            weights = self.weights_from_traces(&traces);
-
-            // --- F-step ---
-            let a = weighted_laplacian(laplacians, &weights);
-            let y_eff = if scaled { scaled_indicator(&y) } else { y.clone() };
-            let b = b_matrix(&y_eff, &r, lambda_eff);
-            f = gpi_stiefel(&a, &b, &f, cfg.gpi_max_iter, 1e-10)?;
-
-            // --- R-step ---
-            // Procrustes on the row-normalized embedding F̃ (Yu–Shi): each
-            // point votes equally in the alignment, so low-norm boundary
-            // rows cannot skew the rotation.
-            let y_eff = if scaled { scaled_indicator(&y) } else { y.clone() };
-            let f_tilde = row_normalized(&f);
-            r = procrustes(&f_tilde.matmul_transpose_a(&y_eff))?;
-
-            // --- Y-step --- For the plain indicator, row-wise argmax is
-            // the exact minimizer. For the scaled indicator the column
-            // scales couple the rows, so the exact block minimizer is the
-            // size-aware coordinate descent (crucial on unbalanced data).
-            let fr = f.matmul(&r);
-            labels = discretize_rows(&fr);
-            if scaled {
-                labels = crate::indicator::discretize_scaled(&fr, &labels, 30);
-            }
-            y = labels_to_indicator(&labels, c);
-
-            // --- bookkeeping ---
-            let traces = view_traces(laplacians, &f);
-            let emb = self.embedding_objective(&traces);
-            let y_eff = if scaled { scaled_indicator(&y) } else { y.clone() };
-            let diff = &f.matmul(&r) - &y_eff;
-            let rot = lambda_eff * diff.frobenius_norm().powi(2);
-            let objective = emb + rot;
+            let stats = self.one_step_solve(laplacians, &mut st, &mut ws)?;
             let prev = history.last().map(|s: &IterationStats| s.objective);
             history.push(IterationStats {
-                objective,
-                embedding_term: emb,
-                rotation_term: rot,
-                weights: normalized(&weights),
+                objective: stats.objective,
+                embedding_term: stats.embedding_term,
+                rotation_term: stats.rotation_term,
+                weights: normalized(&st.weights),
             });
             if let Some(p) = prev {
-                if (p - objective).abs() <= cfg.tol * (1.0 + p.abs()) {
+                if (p - stats.objective).abs() <= cfg.tol * (1.0 + p.abs()) {
                     converged = true;
                     break;
                 }
             }
         }
 
+        let SolverState { f, r, y, labels, weights } = st;
         Ok(UmscResult {
             labels,
             embedding: f,
@@ -256,6 +233,92 @@ impl Umsc {
             history,
             converged,
         })
+    }
+
+    /// Initializes the BCD state for [`Umsc::one_step_solve`].
+    ///
+    /// Warm-starts `F` at the solution of the relaxed problem (λ→0), i.e.
+    /// the converged (re-weighted) spectral embedding. Starting the joint
+    /// loop from the unweighted mean Laplacian instead lets noisy views
+    /// pollute the first indicator, and the alignment feedback then locks
+    /// the bad start in. The rotation is initialized by the Yu–Shi scheme
+    /// (raw argmax on F degenerates because the first Laplacian eigenvector
+    /// is near-constant).
+    ///
+    /// Callers driving the solver manually must pass validated Laplacians
+    /// (square, equal sizes, `c ≤ n`) — [`Umsc::fit_laplacians`] performs
+    /// that validation before dispatching here.
+    pub fn init_solver_state(&self, laplacians: &[Matrix]) -> Result<SolverState> {
+        let c = self.config.num_clusters;
+        let f = self.warm_start_embedding(laplacians)?;
+        let r = init_rotation(&f)?;
+        let labels = discretize_rows(&f.matmul(&r));
+        let y = labels_to_indicator(&labels, c);
+        let weights = vec![1.0 / laplacians.len() as f64; laplacians.len()];
+        Ok(SolverState { f, r, y, labels, weights })
+    }
+
+    /// Performs one full BCD sweep (w-, F-, R-, Y-step) in place.
+    ///
+    /// All intermediates live in `ws`; after the first call (which sizes
+    /// the buffers) the iteration body performs **zero heap allocations**
+    /// — asserted by the counting-allocator test in `tests/alloc_free.rs`.
+    /// [`Umsc::fit_laplacians`] drives exactly this method; stepping it
+    /// manually yields the same iterates.
+    pub fn one_step_solve(
+        &self,
+        laplacians: &[Matrix],
+        st: &mut SolverState,
+        ws: &mut SolverWorkspace,
+    ) -> Result<StepStats> {
+        let cfg = &self.config;
+        let (n, c) = st.f.shape();
+        let scaled = cfg.discretization == Discretization::ScaledRotation;
+        // The alignment term ‖FR − Y‖² grows with n while the Rayleigh term
+        // tr(FᵀLF) is O(c), so λ is normalized by c/(10n): dimensionless
+        // across dataset sizes, with λ = 1 sitting inside the stable
+        // plateau of the sensitivity curve (figure F2) rather than at its
+        // edge — the alignment term refines the warm-started embedding
+        // instead of overruling the graphs.
+        let lambda_eff = cfg.lambda * c as f64 / (10.0 * n as f64);
+        ws.ensure(n, c, true);
+
+        // --- w-step ---
+        view_traces_into(laplacians, &st.f, &mut ws.lf, &mut ws.cc, &mut ws.traces);
+        self.weights_from_traces_into(&ws.traces, &mut st.weights);
+
+        // --- F-step ---
+        weighted_laplacian_into(laplacians, &st.weights, &mut ws.a);
+        effective_indicator(&st.y, scaled, &mut ws.sizes, &mut ws.y_eff);
+        b_matrix_into(&ws.y_eff, &st.r, lambda_eff, &mut ws.b);
+        gpi_stiefel_ws(&ws.a, &ws.b, &mut st.f, cfg.gpi_max_iter, 1e-10, &mut ws.gpi)?;
+
+        // --- R-step ---
+        // Procrustes on the row-normalized embedding F̃ (Yu–Shi): each
+        // point votes equally in the alignment, so low-norm boundary
+        // rows cannot skew the rotation.
+        effective_indicator(&st.y, scaled, &mut ws.sizes, &mut ws.y_eff);
+        row_normalized_into(&st.f, &mut ws.f_tilde);
+        ws.f_tilde.matmul_transpose_a_into(&ws.y_eff, &mut ws.cc);
+        procrustes_into(&ws.cc, &mut ws.svd_r, &mut st.r)?;
+
+        // --- Y-step --- For the plain indicator, row-wise argmax is
+        // the exact minimizer. For the scaled indicator the column
+        // scales couple the rows, so the exact block minimizer is the
+        // size-aware coordinate descent (crucial on unbalanced data).
+        st.f.matmul_into(&st.r, &mut ws.fr);
+        discretize_rows_into(&ws.fr, &mut st.labels, &mut ws.counts);
+        if scaled {
+            discretize_scaled_inplace(&ws.fr, &mut st.labels, 30, &mut ws.dsc_sizes, &mut ws.dsc_sums);
+        }
+        labels_to_indicator_into(&st.labels, &mut st.y);
+
+        // --- bookkeeping ---
+        view_traces_into(laplacians, &st.f, &mut ws.lf, &mut ws.cc, &mut ws.traces);
+        let emb = self.embedding_objective(&ws.traces);
+        effective_indicator(&st.y, scaled, &mut ws.sizes, &mut ws.y_eff);
+        let rot = lambda_eff * frobenius_distance(&ws.fr, &ws.y_eff).powi(2);
+        Ok(StepStats { objective: emb + rot, embedding_term: emb, rotation_term: rot })
     }
 
     /// Two-stage ablation: auto-weighted embedding, then K-means.
@@ -343,12 +406,20 @@ impl Umsc {
 
     /// Closed-form weights from the per-view embedding traces.
     fn weights_from_traces(&self, traces: &[f64]) -> Vec<f64> {
+        let mut weights = Vec::with_capacity(traces.len());
+        self.weights_from_traces_into(traces, &mut weights);
+        weights
+    }
+
+    /// [`Umsc::weights_from_traces`] reusing the output vector's capacity.
+    fn weights_from_traces_into(&self, traces: &[f64], weights: &mut Vec<f64>) {
+        weights.clear();
         match &self.config.weighting {
-            Weighting::Auto => traces.iter().map(|&t| 1.0 / (2.0 * t.max(1e-10).sqrt())).collect(),
-            Weighting::Uniform => vec![1.0 / traces.len() as f64; traces.len()],
+            Weighting::Auto => weights.extend(traces.iter().map(|&t| 1.0 / (2.0 * t.max(1e-10).sqrt()))),
+            Weighting::Uniform => weights.resize(traces.len(), 1.0 / traces.len() as f64),
             Weighting::Fixed(w) => {
                 let s: f64 = w.iter().sum();
-                w.iter().map(|&x| x / s).collect()
+                weights.extend(w.iter().map(|&x| x / s));
             }
         }
     }
@@ -369,24 +440,75 @@ impl Umsc {
 
 /// `tr(Fᵀ L⁽ᵛ⁾ F)` for every view.
 fn view_traces(laplacians: &[Matrix], f: &Matrix) -> Vec<f64> {
-    laplacians
-        .iter()
-        .map(|l| {
-            let lf = l.matmul(f);
-            f.matmul_transpose_a(&lf).trace()
-        })
-        .collect()
+    let (n, c) = f.shape();
+    let mut lf = Matrix::zeros(n, c);
+    let mut cc = Matrix::zeros(c, c);
+    let mut traces = Vec::with_capacity(laplacians.len());
+    view_traces_into(laplacians, f, &mut lf, &mut cc, &mut traces);
+    traces
+}
+
+/// [`view_traces`] through caller-provided scratch (`lf` is `n × c`, `cc`
+/// is `c × c`): allocation-free once `traces` has capacity.
+fn view_traces_into(
+    laplacians: &[Matrix],
+    f: &Matrix,
+    lf: &mut Matrix,
+    cc: &mut Matrix,
+    traces: &mut Vec<f64>,
+) {
+    traces.clear();
+    for l in laplacians {
+        l.matmul_into(f, lf);
+        f.matmul_transpose_a_into(lf, cc);
+        traces.push(cc.trace());
+    }
 }
 
 /// `Σ_v w_v · L⁽ᵛ⁾`, exactly symmetrized.
 fn weighted_laplacian(laplacians: &[Matrix], weights: &[f64]) -> Matrix {
     let n = laplacians[0].rows();
     let mut a = Matrix::zeros(n, n);
+    weighted_laplacian_into(laplacians, weights, &mut a);
+    a
+}
+
+/// [`weighted_laplacian`] writing into an existing `n × n` matrix.
+fn weighted_laplacian_into(laplacians: &[Matrix], weights: &[f64], a: &mut Matrix) {
+    a.as_mut_slice().fill(0.0);
     for (l, &w) in laplacians.iter().zip(weights.iter()) {
         a.axpy(w, l);
     }
     a.symmetrize_mut();
-    a
+}
+
+/// Writes the effective indicator — `Y` itself, or the scaled
+/// `Y(YᵀY)^{-1/2}` for the scaled-rotation objective — into `out`.
+pub(crate) fn effective_indicator(y: &Matrix, scaled: bool, sizes: &mut Vec<f64>, out: &mut Matrix) {
+    if scaled {
+        scaled_indicator_into(y, sizes, out);
+    } else {
+        out.copy_from(y);
+    }
+}
+
+/// `‖A − B‖_F` without materializing the difference. Accumulates the
+/// squared residual in the same row-major order (and with the same
+/// `a + (-1.0)·b` update) as `(&a - &b).frobenius_norm()`, so the result
+/// is bitwise identical.
+pub(crate) fn frobenius_distance(a: &Matrix, b: &Matrix) -> f64 {
+    debug_assert_eq!(a.shape(), b.shape());
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| {
+            // Keep the Sub impl's `x + (-1.0)·y` update verbatim.
+            #[allow(clippy::neg_multiply)]
+            let d = x + (-1.0) * y;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// Unweighted mean Laplacian (initialization).
@@ -445,20 +567,19 @@ pub fn init_rotation(f: &Matrix) -> Result<Matrix> {
     Ok(procrustes(&r)?)
 }
 
-/// Row-normalized copy (rows on the unit sphere; zero rows left as-is).
-fn row_normalized(f: &Matrix) -> Matrix {
-    let mut out = f.clone();
+/// Row-normalized copy into `out` (rows on the unit sphere; zero rows
+/// left as-is).
+pub(crate) fn row_normalized_into(f: &Matrix, out: &mut Matrix) {
+    out.copy_from(f);
     for i in 0..out.rows() {
         umsc_linalg::ops::normalize(out.row_mut(i));
     }
-    out
 }
 
-/// `B = λ · Y_eff · Rᵀ`, the attraction term of the F-step.
-fn b_matrix(y_eff: &Matrix, r: &Matrix, lambda: f64) -> Matrix {
-    let mut b = y_eff.matmul_transpose_b(r);
+/// `B = λ · Y_eff · Rᵀ`, the attraction term of the F-step, into `b`.
+pub(crate) fn b_matrix_into(y_eff: &Matrix, r: &Matrix, lambda: f64, b: &mut Matrix) {
+    y_eff.matmul_transpose_b_into(r, b);
     b.scale_mut(lambda);
-    b
 }
 
 #[cfg(test)]

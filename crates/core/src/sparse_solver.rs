@@ -19,11 +19,18 @@
 
 use crate::config::Weighting;
 use crate::error::UmscError;
-use crate::indicator::{discretize_rows, labels_to_indicator, scaled_indicator};
-use crate::solver::{init_rotation, IterationStats, Umsc, UmscResult};
+use crate::indicator::{
+    discretize_rows, discretize_rows_into, discretize_scaled_inplace, labels_to_indicator,
+    labels_to_indicator_into,
+};
+use crate::solver::{
+    b_matrix_into, effective_indicator, frobenius_distance, init_rotation, row_normalized_into,
+    IterationStats, Umsc, UmscResult,
+};
+use crate::workspace::SolverWorkspace;
 use crate::Result;
 use umsc_graph::CsrMatrix;
-use umsc_linalg::{lanczos_smallest, polar_orthogonalize, procrustes, LanczosConfig, LinearOperator, Matrix};
+use umsc_linalg::{lanczos_smallest, polar_orthogonalize_into, procrustes_into, LanczosConfig, LinearOperator, Matrix};
 
 impl Umsc {
     /// Fits the model on precomputed **sparse** per-view normalized
@@ -96,59 +103,64 @@ impl Umsc {
         let mut history: Vec<IterationStats> = Vec::with_capacity(cfg.max_iter);
         let mut converged = false;
 
+        // All per-iteration intermediates live here: the loop body below
+        // performs no heap allocations once the buffers are warm (the
+        // history push aside), mirroring the dense `one_step_solve`.
+        let mut ws = SolverWorkspace::new();
+        ws.ensure(n, c, false);
+        ws.gpi.ensure(n, c);
+
         for _iter in 0..cfg.max_iter {
             if matches!(cfg.weighting, Weighting::Auto) {
-                weights = auto_weights(&sparse_traces(laplacians, &f));
+                sparse_traces_into(laplacians, &f, &mut ws.lf, &mut ws.cc, &mut ws.traces);
+                auto_weights_into(&ws.traces, &mut weights);
             }
             let s: f64 = weights.iter().sum();
             let eta = 2.0 * s + 1e-9;
 
             // Matrix-free GPI.
-            let y_eff = if scaled { scaled_indicator(&y) } else { y.clone() };
-            let mut b_term = y_eff.matmul_transpose_b(&r);
-            b_term.scale_mut(lambda_eff);
+            effective_indicator(&y, scaled, &mut ws.sizes, &mut ws.y_eff);
+            b_matrix_into(&ws.y_eff, &r, lambda_eff, &mut ws.b);
             for _inner in 0..cfg.gpi_max_iter.max(1) {
-                let mut m_mat = f.scale(eta);
+                ws.gpi.m.copy_from(&f);
+                ws.gpi.m.scale_mut(eta);
                 for (l, &w) in laplacians.iter().zip(weights.iter()) {
-                    let lf = l.matmul_dense(&f);
-                    m_mat.axpy(-w, &lf);
+                    l.matmul_dense_into(&f, &mut ws.lf);
+                    ws.gpi.m.axpy(-w, &ws.lf);
                 }
-                m_mat.axpy(1.0, &b_term);
-                let f_new = polar_orthogonalize(&m_mat)?;
-                let delta = (&f_new - &f).frobenius_norm();
-                f = f_new;
+                ws.gpi.m.axpy(1.0, &ws.b);
+                polar_orthogonalize_into(&ws.gpi.m, &mut ws.gpi.svd, &mut ws.f_next)?;
+                let delta = frobenius_distance(&ws.f_next, &f);
+                f.copy_from(&ws.f_next);
                 if delta < 1e-9 * (c as f64).sqrt() {
                     break;
                 }
             }
 
             // R/Y steps (row-normalized Procrustes, exact argmax).
-            let y_eff = if scaled { scaled_indicator(&y) } else { y.clone() };
-            let mut f_tilde = f.clone();
-            for i in 0..n {
-                umsc_linalg::ops::normalize(f_tilde.row_mut(i));
-            }
-            r = procrustes(&f_tilde.matmul_transpose_a(&y_eff))?;
-            let fr = f.matmul(&r);
-            labels = discretize_rows(&fr);
+            effective_indicator(&y, scaled, &mut ws.sizes, &mut ws.y_eff);
+            row_normalized_into(&f, &mut ws.f_tilde);
+            ws.f_tilde.matmul_transpose_a_into(&ws.y_eff, &mut ws.cc);
+            procrustes_into(&ws.cc, &mut ws.svd_r, &mut r)?;
+            f.matmul_into(&r, &mut ws.fr);
+            discretize_rows_into(&ws.fr, &mut labels, &mut ws.counts);
             if scaled {
-                labels = crate::indicator::discretize_scaled(&fr, &labels, 30);
+                discretize_scaled_inplace(&ws.fr, &mut labels, 30, &mut ws.dsc_sizes, &mut ws.dsc_sums);
             }
-            y = labels_to_indicator(&labels, c);
+            labels_to_indicator_into(&labels, &mut y);
 
             // Bookkeeping on the reported objective.
-            let traces = sparse_traces(laplacians, &f);
+            sparse_traces_into(laplacians, &f, &mut ws.lf, &mut ws.cc, &mut ws.traces);
             let emb: f64 = match &cfg.weighting {
-                Weighting::Auto => traces.iter().map(|t| t.max(0.0).sqrt()).sum(),
-                Weighting::Uniform => traces.iter().sum::<f64>() / traces.len() as f64,
+                Weighting::Auto => ws.traces.iter().map(|t| t.max(0.0).sqrt()).sum(),
+                Weighting::Uniform => ws.traces.iter().sum::<f64>() / ws.traces.len() as f64,
                 Weighting::Fixed(w) => {
                     let sw: f64 = w.iter().sum();
-                    w.iter().zip(traces.iter()).map(|(&wi, &t)| wi / sw * t).sum()
+                    w.iter().zip(ws.traces.iter()).map(|(&wi, &t)| wi / sw * t).sum()
                 }
             };
-            let y_eff = if scaled { scaled_indicator(&y) } else { y.clone() };
-            let diff = &f.matmul(&r) - &y_eff;
-            let rot = lambda_eff * diff.frobenius_norm().powi(2);
+            effective_indicator(&y, scaled, &mut ws.sizes, &mut ws.y_eff);
+            let rot = lambda_eff * frobenius_distance(&ws.fr, &ws.y_eff).powi(2);
             let objective = emb + rot;
             let prev = history.last().map(|st: &IterationStats| st.objective);
             history.push(IterationStats {
@@ -188,17 +200,40 @@ impl Umsc {
 }
 
 fn sparse_traces(laplacians: &[CsrMatrix], f: &Matrix) -> Vec<f64> {
-    laplacians
-        .iter()
-        .map(|l| {
-            let lf = l.matmul_dense(f);
-            f.matmul_transpose_a(&lf).trace()
-        })
-        .collect()
+    let (n, c) = f.shape();
+    let mut lf = Matrix::zeros(n, c);
+    let mut cc = Matrix::zeros(c, c);
+    let mut traces = Vec::with_capacity(laplacians.len());
+    sparse_traces_into(laplacians, f, &mut lf, &mut cc, &mut traces);
+    traces
+}
+
+/// [`sparse_traces`] through caller-provided scratch: allocation-free.
+fn sparse_traces_into(
+    laplacians: &[CsrMatrix],
+    f: &Matrix,
+    lf: &mut Matrix,
+    cc: &mut Matrix,
+    traces: &mut Vec<f64>,
+) {
+    traces.clear();
+    for l in laplacians {
+        l.matmul_dense_into(f, lf);
+        f.matmul_transpose_a_into(lf, cc);
+        traces.push(cc.trace());
+    }
 }
 
 fn auto_weights(traces: &[f64]) -> Vec<f64> {
-    traces.iter().map(|t| 1.0 / (2.0 * t.max(1e-10).sqrt())).collect()
+    let mut w = Vec::with_capacity(traces.len());
+    auto_weights_into(traces, &mut w);
+    w
+}
+
+/// [`auto_weights`] reusing the output vector's capacity.
+fn auto_weights_into(traces: &[f64], weights: &mut Vec<f64>) {
+    weights.clear();
+    weights.extend(traces.iter().map(|t| 1.0 / (2.0 * t.max(1e-10).sqrt())));
 }
 
 fn normalized(w: &[f64]) -> Vec<f64> {
@@ -210,10 +245,14 @@ fn normalized(w: &[f64]) -> Vec<f64> {
     }
 }
 
-/// Weighted-sum sparse operator for the Lanczos warm start.
+/// Weighted-sum sparse operator for the Lanczos warm start. The per-view
+/// product buffer is owned by the operator (interior mutability, since
+/// [`LinearOperator::apply`] takes `&self`) so repeated applications
+/// allocate nothing.
 struct WeightedSparseOp<'a> {
     laplacians: &'a [CsrMatrix],
     weights: &'a [f64],
+    tmp: std::cell::RefCell<Vec<f64>>,
 }
 
 impl LinearOperator for WeightedSparseOp<'_> {
@@ -222,7 +261,8 @@ impl LinearOperator for WeightedSparseOp<'_> {
     }
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         y.fill(0.0);
-        let mut tmp = vec![0.0; x.len()];
+        let mut tmp = self.tmp.borrow_mut();
+        tmp.resize(x.len(), 0.0);
         for (l, &w) in self.laplacians.iter().zip(self.weights.iter()) {
             l.spmv(x, &mut tmp);
             for (yi, &t) in y.iter_mut().zip(tmp.iter()) {
@@ -233,7 +273,7 @@ impl LinearOperator for WeightedSparseOp<'_> {
 }
 
 fn sparse_embedding(laplacians: &[CsrMatrix], weights: &[f64], c: usize, seed: u64) -> Result<Matrix> {
-    let op = WeightedSparseOp { laplacians, weights };
+    let op = WeightedSparseOp { laplacians, weights, tmp: std::cell::RefCell::new(Vec::new()) };
     let cfg = LanczosConfig { seed, initial_subspace: (2 * c + 20).min(op.dim()), ..Default::default() };
     let (_, vecs) = lanczos_smallest(&op, c, &cfg)?;
     Ok(vecs)

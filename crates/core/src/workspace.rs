@@ -1,0 +1,126 @@
+//! Reusable solver buffers.
+//!
+//! One outer BCD iteration of the unified solver touches an `n × n`
+//! fused Laplacian, several `n × c` intermediates, two SVD scratches of
+//! different shapes (the `n × c` polar factor inside GPI and the `c × c`
+//! Procrustes rotation), and a handful of label/size vectors. Allocating
+//! them per iteration dominated small-`c` profiles; [`SolverWorkspace`]
+//! owns them all so [`crate::Umsc::one_step_solve`] performs **zero heap
+//! allocations per iteration** once the workspace is warm (asserted by a
+//! counting-allocator test in `tests/alloc_free.rs`).
+//!
+//! Buffers are grow-only and shape-stable across iterations; contents are
+//! unspecified between calls — every kernel writing into them overwrites
+//! what it reads.
+
+use crate::gpi::GpiWorkspace;
+use umsc_linalg::{Matrix, SvdScratch};
+
+/// Reallocates `m` only when its shape changes (contents unspecified).
+pub(crate) fn ensure_shape(m: &mut Matrix, rows: usize, cols: usize) {
+    if m.shape() != (rows, cols) {
+        *m = Matrix::zeros(rows, cols);
+    }
+}
+
+/// Scratch buffers for the unified solver's hot loop. Create once (e.g.
+/// via [`SolverWorkspace::new`]), then pass to every
+/// [`crate::Umsc::one_step_solve`] call; shapes are fixed on first use and
+/// reused thereafter.
+#[derive(Debug, Clone)]
+pub struct SolverWorkspace {
+    /// `n × n` fused Laplacian `Σ_v w_v L⁽ᵛ⁾`.
+    pub(crate) a: Matrix,
+    /// `n × c` sparse/dense product scratch `L·F`.
+    pub(crate) lf: Matrix,
+    /// `c × c` trace / Procrustes-input scratch.
+    pub(crate) cc: Matrix,
+    /// `n × c` effective indicator (`Y` or `Y(YᵀY)^{-1/2}`).
+    pub(crate) y_eff: Matrix,
+    /// `n × c` attraction term `λ·Y_eff·Rᵀ`.
+    pub(crate) b: Matrix,
+    /// `n × c` rotated embedding `F·R`.
+    pub(crate) fr: Matrix,
+    /// `n × c` row-normalized embedding `F̃`.
+    pub(crate) f_tilde: Matrix,
+    /// `n × c` next-iterate scratch (sparse GPI inner loop).
+    pub(crate) f_next: Matrix,
+    /// GPI inner-loop buffers (dense path).
+    pub(crate) gpi: GpiWorkspace,
+    /// `c × c` SVD scratch for the R-step Procrustes.
+    pub(crate) svd_r: SvdScratch,
+    /// Per-view traces `tr(Fᵀ L⁽ᵛ⁾ F)`.
+    pub(crate) traces: Vec<f64>,
+    /// Cluster sizes for the scaled indicator.
+    pub(crate) sizes: Vec<f64>,
+    /// Cluster counts for empty-cluster repair.
+    pub(crate) counts: Vec<usize>,
+    /// Cluster sizes for scaled discretization.
+    pub(crate) dsc_sizes: Vec<usize>,
+    /// Cluster column-sums for scaled discretization.
+    pub(crate) dsc_sums: Vec<f64>,
+}
+
+impl SolverWorkspace {
+    /// An empty workspace; every buffer is sized on first use.
+    pub fn new() -> Self {
+        SolverWorkspace {
+            a: Matrix::zeros(0, 0),
+            lf: Matrix::zeros(0, 0),
+            cc: Matrix::zeros(0, 0),
+            y_eff: Matrix::zeros(0, 0),
+            b: Matrix::zeros(0, 0),
+            fr: Matrix::zeros(0, 0),
+            f_tilde: Matrix::zeros(0, 0),
+            f_next: Matrix::zeros(0, 0),
+            gpi: GpiWorkspace::new(),
+            svd_r: SvdScratch::new(),
+            traces: Vec::new(),
+            sizes: Vec::new(),
+            counts: Vec::new(),
+            dsc_sizes: Vec::new(),
+            dsc_sums: Vec::new(),
+        }
+    }
+
+    /// Sizes the `n × c` (and, when `dense_a` is set, `n × n`) buffers.
+    /// Reallocates only when shapes change.
+    pub(crate) fn ensure(&mut self, n: usize, c: usize, dense_a: bool) {
+        if dense_a {
+            ensure_shape(&mut self.a, n, n);
+        }
+        ensure_shape(&mut self.lf, n, c);
+        ensure_shape(&mut self.cc, c, c);
+        ensure_shape(&mut self.y_eff, n, c);
+        ensure_shape(&mut self.b, n, c);
+        ensure_shape(&mut self.fr, n, c);
+        ensure_shape(&mut self.f_tilde, n, c);
+        ensure_shape(&mut self.f_next, n, c);
+    }
+}
+
+impl Default for SolverWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ensure_is_idempotent_and_shape_stable() {
+        let mut ws = SolverWorkspace::new();
+        ws.ensure(10, 3, true);
+        assert_eq!(ws.a.shape(), (10, 10));
+        assert_eq!(ws.lf.shape(), (10, 3));
+        let ptr = ws.lf.as_slice().as_ptr();
+        ws.ensure(10, 3, true);
+        assert_eq!(ws.lf.as_slice().as_ptr(), ptr, "ensure with same shape must not reallocate");
+        // Shape change reallocates.
+        ws.ensure(12, 3, false);
+        assert_eq!(ws.lf.shape(), (12, 3));
+        assert_eq!(ws.a.shape(), (10, 10), "dense_a=false leaves A untouched");
+    }
+}

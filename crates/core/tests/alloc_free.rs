@@ -1,0 +1,101 @@
+//! Counting-allocator proof that the solver hot loop is allocation-free.
+//!
+//! `Umsc::one_step_solve` routes every intermediate through a
+//! `SolverWorkspace`; once the workspace buffers are warm, an iteration
+//! must not touch the heap at all. This test installs a counting global
+//! allocator, warms the workspace, then asserts that further iterations
+//! perform **zero** allocations — on both the plain-rotation and
+//! scaled-rotation paths.
+//!
+//! The counter is thread-local (const-initialized `Cell`s, so reading them
+//! inside the allocator cannot itself allocate): the libtest harness thread
+//! prints progress lines — lazily allocating its stdout buffer — in
+//! parallel with the test body, and a process-global counter would flake on
+//! that race. Threads are pinned to one (`UMSC_THREADS=1`) because
+//! spawning worker threads allocates stacks — the point here is the
+//! solver's own memory behavior, not the runtime's.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use umsc_core::{build_view_laplacians, Discretization, SolverWorkspace, Umsc, UmscConfig};
+use umsc_data::synth::{MultiViewGmm, ViewSpec};
+
+struct CountingAlloc;
+
+thread_local! {
+    static ARMED: Cell<bool> = const { Cell::new(false) };
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn record() {
+    // try_with: never panic inside the allocator (e.g. during TLS teardown).
+    let _ = ARMED.try_with(|armed| {
+        if armed.get() {
+            let _ = ALLOCS.try_with(|n| n.set(n.get() + 1));
+        }
+    });
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        record();
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        record();
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        record();
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    ALLOCS.with(|n| n.set(0));
+    ARMED.with(|armed| armed.set(true));
+    f();
+    ARMED.with(|armed| armed.set(false));
+    ALLOCS.with(|n| n.get())
+}
+
+#[test]
+fn one_step_solve_is_allocation_free_once_warm() {
+    // Single-threaded kernels: thread spawns allocate stacks, and the flop
+    // gates would engage threads on larger inputs.
+    std::env::set_var("UMSC_THREADS", "1");
+
+    let data = MultiViewGmm::new("alloc", 3, 20, vec![ViewSpec::clean(5), ViewSpec::clean(6)])
+        .generate(7);
+
+    for discretization in [Discretization::Rotation, Discretization::ScaledRotation] {
+        let cfg = UmscConfig::new(3).with_discretization(discretization.clone());
+        let model = Umsc::new(cfg);
+        let laplacians = build_view_laplacians(&data, &model.config().graph_config()).unwrap();
+
+        let mut st = model.init_solver_state(&laplacians).unwrap();
+        let mut ws = SolverWorkspace::new();
+        // Warm-up: the first sweeps size every buffer (including the two
+        // SVD scratches, which see their final shapes mid-iteration).
+        for _ in 0..2 {
+            model.one_step_solve(&laplacians, &mut st, &mut ws).unwrap();
+        }
+
+        let count = allocations_during(|| {
+            for _ in 0..3 {
+                model.one_step_solve(&laplacians, &mut st, &mut ws).unwrap();
+            }
+        });
+        assert_eq!(
+            count, 0,
+            "{discretization:?}: warm one_step_solve touched the heap {count} times"
+        );
+    }
+}

@@ -146,41 +146,104 @@ impl CsrMatrix {
         }
     }
 
+    /// Approximate flop count below which threading a sparse kernel costs
+    /// more than it saves (same calibration as the dense GEMM gate).
+    const PAR_FLOP_THRESHOLD: usize = 1 << 18;
+
     /// Sparse matrix–vector product `y = A·x`.
+    ///
+    /// Threaded over contiguous row blocks when the matrix carries enough
+    /// non-zeros to pay for the spawn; each `y[i]` is one independent
+    /// ascending-index dot product either way, so the result is
+    /// bitwise-identical to the sequential loop.
     ///
     /// # Panics
     /// Panics on dimension mismatch.
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        let flops = 2 * self.nnz();
+        let t = if flops >= Self::PAR_FLOP_THRESHOLD { umsc_rt::par::max_threads() } else { 1 };
+        self.spmv_with_threads(t, x, y);
+    }
+
+    /// [`CsrMatrix::spmv`] with an explicit thread count (`threads <= 1`
+    /// runs inline; no work-size gate).
+    pub fn spmv_with_threads(&self, threads: usize, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "CsrMatrix::spmv: x length mismatch");
         assert_eq!(y.len(), self.rows, "CsrMatrix::spmv: y length mismatch");
-        for (i, out) in y.iter_mut().enumerate() {
-            let lo = self.row_ptr[i];
-            let hi = self.row_ptr[i + 1];
-            *out = self.col_idx[lo..hi]
-                .iter()
-                .zip(self.values[lo..hi].iter())
-                .map(|(&j, &v)| v * x[j])
-                .sum();
+        if self.rows == 0 {
+            return;
         }
+        let rows_per = self.rows.div_ceil(threads.max(1));
+        umsc_rt::par::parallel_chunks_mut_with(threads, y, rows_per, |ci, ychunk| {
+            let base = ci * rows_per;
+            for (off, out) in ychunk.iter_mut().enumerate() {
+                let i = base + off;
+                let lo = self.row_ptr[i];
+                let hi = self.row_ptr[i + 1];
+                *out = self.col_idx[lo..hi]
+                    .iter()
+                    .zip(self.values[lo..hi].iter())
+                    .map(|(&j, &v)| v * x[j])
+                    .sum();
+            }
+        });
     }
 
     /// Dense product `A · B` with a dense right factor (`rows × B.cols()`).
+    ///
+    /// Threaded over output rows past the work-size gate; per-row
+    /// accumulation order is unchanged, so results are bitwise-identical
+    /// to the sequential loop.
     pub fn matmul_dense(&self, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, b.cols());
+        self.matmul_dense_into(b, &mut out);
+        out
+    }
+
+    /// [`CsrMatrix::matmul_dense`] with an explicit thread count.
+    pub fn matmul_dense_with_threads(&self, threads: usize, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, b.cols());
+        self.matmul_dense_impl(threads, b, &mut out);
+        out
+    }
+
+    /// Writes `A · B` into `out` without allocating. Every entry of `out`
+    /// is overwritten.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch or if `out` is not `rows × B.cols()`.
+    pub fn matmul_dense_into(&self, b: &Matrix, out: &mut Matrix) {
+        let flops = 2 * self.nnz() * b.cols();
+        let t = if flops >= Self::PAR_FLOP_THRESHOLD { umsc_rt::par::max_threads() } else { 1 };
+        out.as_mut_slice().fill(0.0);
+        self.matmul_dense_impl(t, b, out);
+    }
+
+    /// `out` must be `rows × b.cols()` and zeroed; one output row per chunk.
+    fn matmul_dense_impl(&self, threads: usize, b: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, b.rows(), "CsrMatrix::matmul_dense: dimension mismatch");
         let n = b.cols();
-        let mut out = Matrix::zeros(self.rows, n);
-        for i in 0..self.rows {
+        assert_eq!(
+            out.shape(),
+            (self.rows, n),
+            "CsrMatrix::matmul_dense_into: out is {}x{}, expected {}x{n}",
+            out.rows(),
+            out.cols(),
+            self.rows
+        );
+        if n == 0 {
+            return;
+        }
+        umsc_rt::par::parallel_chunks_mut_with(threads, out.as_mut_slice(), n, |i, orow| {
             let lo = self.row_ptr[i];
             let hi = self.row_ptr[i + 1];
-            let orow = out.row_mut(i);
             for (&j, &v) in self.col_idx[lo..hi].iter().zip(self.values[lo..hi].iter()) {
                 let brow = b.row(j);
                 for (o, &bb) in orow.iter_mut().zip(brow.iter()) {
                     *o += v * bb;
                 }
             }
-        }
-        out
+        });
     }
 
     /// Transposed copy.
@@ -401,5 +464,63 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn triplet_bounds_checked() {
         let _ = CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]);
+    }
+
+    /// A ragged random sparse matrix: some empty rows, uneven nnz per row,
+    /// so thread blocks carry unequal work.
+    fn random_sparse(rows: usize, cols: usize, seed: u64) -> CsrMatrix {
+        let mut rng = umsc_rt::Rng::from_seed(seed);
+        let mut trip = Vec::new();
+        for i in 0..rows {
+            if i % 7 == 3 {
+                continue; // empty row
+            }
+            let nnz = 1 + (rng.next_f64() * 6.0) as usize;
+            for _ in 0..nnz {
+                let j = (rng.next_f64() * cols as f64) as usize % cols;
+                trip.push((i, j, rng.normal()));
+            }
+        }
+        CsrMatrix::from_triplets(rows, cols, &trip)
+    }
+
+    #[test]
+    fn threaded_spmv_is_bitwise_identical() {
+        let m = random_sparse(103, 59, 7);
+        let mut rng = umsc_rt::Rng::from_seed(8);
+        let x: Vec<f64> = (0..59).map(|_| rng.normal()).collect();
+        let mut seq = vec![0.0; 103];
+        m.spmv_with_threads(1, &x, &mut seq);
+        for t in [2, 3, 4, 8] {
+            let mut par = vec![f64::NAN; 103];
+            m.spmv_with_threads(t, &x, &mut par);
+            assert_eq!(seq, par, "spmv differs at {t} threads");
+        }
+        let mut gated = vec![0.0; 103];
+        m.spmv(&x, &mut gated);
+        assert_eq!(seq, gated);
+        // Empty matrix: no-op.
+        let z = CsrMatrix::zeros(0, 4);
+        let mut y: Vec<f64> = Vec::new();
+        z.spmv_with_threads(4, &[0.0; 4], &mut y);
+    }
+
+    #[test]
+    fn threaded_matmul_dense_is_bitwise_identical() {
+        let m = random_sparse(67, 41, 9);
+        let mut rng = umsc_rt::Rng::from_seed(10);
+        let b = Matrix::from_fn(41, 13, |_, _| rng.normal());
+        let seq = m.matmul_dense_with_threads(1, &b);
+        for t in [2, 3, 5, 8] {
+            let par = m.matmul_dense_with_threads(t, &b);
+            assert_eq!(seq.as_slice(), par.as_slice(), "matmul_dense differs at {t} threads");
+        }
+        assert_eq!(m.matmul_dense(&b).as_slice(), seq.as_slice());
+        // _into overwrites a dirty buffer and matches.
+        let mut out = Matrix::filled(67, 13, f64::NAN);
+        m.matmul_dense_into(&b, &mut out);
+        assert_eq!(out.as_slice(), seq.as_slice());
+        // Zero-width right factor.
+        assert_eq!(m.matmul_dense_with_threads(4, &Matrix::zeros(41, 0)).shape(), (67, 0));
     }
 }

@@ -32,7 +32,7 @@ impl LinearOperator for Matrix {
         self.rows()
     }
     fn apply(&self, x: &[f64], y: &mut [f64]) {
-        y.copy_from_slice(&self.matvec(x));
+        self.matvec_into(x, y);
     }
 }
 

@@ -50,9 +50,9 @@ pub use jacobi::jacobi_eigen;
 pub use lanczos::{lanczos_smallest, LanczosConfig, LinearOperator};
 pub use lu::{lu_solve, Lu};
 pub use matrix::Matrix;
-pub use procrustes::{polar_orthogonalize, procrustes};
+pub use procrustes::{polar_orthogonalize, polar_orthogonalize_into, procrustes, procrustes_into};
 pub use qr::{qr, QrDecomposition};
-pub use svd::Svd;
+pub use svd::{Svd, SvdScratch};
 pub use tridiag::Tridiagonal;
 
 /// Result alias for fallible linear-algebra routines.

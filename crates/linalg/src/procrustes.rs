@@ -10,7 +10,7 @@
 //! Both reduce to a thin SVD (`M = U Σ Vᵀ ⇒ R = U Vᵀ`).
 
 use crate::matrix::Matrix;
-use crate::svd::Svd;
+use crate::svd::{Svd, SvdScratch};
 use crate::Result;
 
 /// Solves the orthogonal Procrustes problem `max_{RᵀR = I} tr(Rᵀ M)`.
@@ -21,9 +21,23 @@ use crate::Result;
 /// # Panics
 /// Panics if `m` is not square (rotations here are always `c × c`).
 pub fn procrustes(m: &Matrix) -> Result<Matrix> {
+    let mut out = Matrix::zeros(m.rows(), m.cols());
+    procrustes_into(m, &mut SvdScratch::new(), &mut out)?;
+    Ok(out)
+}
+
+/// [`procrustes`] writing into `out` through a reusable [`SvdScratch`]:
+/// allocation-free once the scratch is warm. Numerically identical to the
+/// allocating version.
+///
+/// # Panics
+/// Panics if `m` is not square or `out` has a different shape.
+pub fn procrustes_into(m: &Matrix, ws: &mut SvdScratch, out: &mut Matrix) -> Result<()> {
     assert!(m.is_square(), "procrustes: matrix is {}x{}, not square", m.rows(), m.cols());
-    let svd = Svd::compute(m)?;
-    Ok(svd.u.matmul_transpose_b(&svd.v))
+    assert_eq!(out.shape(), m.shape(), "procrustes_into: out shape mismatch");
+    Svd::compute_scratch(m, ws)?;
+    ws.u.matmul_transpose_b_into(&ws.v, out);
+    Ok(())
 }
 
 /// Projects an `n × k` matrix (`n ≥ k`) onto the Stiefel manifold: returns
@@ -35,10 +49,24 @@ pub fn procrustes(m: &Matrix) -> Result<Matrix> {
 /// # Panics
 /// Panics if `n < k` (no orthonormal-column matrix of that shape exists).
 pub fn polar_orthogonalize(m: &Matrix) -> Result<Matrix> {
+    let mut out = Matrix::zeros(m.rows(), m.cols());
+    polar_orthogonalize_into(m, &mut SvdScratch::new(), &mut out)?;
+    Ok(out)
+}
+
+/// [`polar_orthogonalize`] writing into `out` through a reusable
+/// [`SvdScratch`]: allocation-free once the scratch is warm. Numerically
+/// identical to the allocating version.
+///
+/// # Panics
+/// Panics if `n < k` or `out` has a different shape.
+pub fn polar_orthogonalize_into(m: &Matrix, ws: &mut SvdScratch, out: &mut Matrix) -> Result<()> {
     let (n, k) = m.shape();
     assert!(n >= k, "polar_orthogonalize: need rows >= cols, got {n}x{k}");
-    let svd = Svd::compute(m)?;
-    Ok(svd.u.matmul_transpose_b(&svd.v))
+    assert_eq!(out.shape(), m.shape(), "polar_orthogonalize_into: out shape mismatch");
+    Svd::compute_scratch(m, ws)?;
+    ws.u.matmul_transpose_b_into(&ws.v, out);
+    Ok(())
 }
 
 /// Value of the Procrustes objective `tr(Rᵀ M)` — exposed for tests and
@@ -112,6 +140,23 @@ mod tests {
         let m = Matrix::from_fn(5, 3, |i, _| (i + 1) as f64);
         let f = polar_orthogonalize(&m).unwrap();
         assert!(f.matmul_transpose_a(&f).approx_eq(&Matrix::identity(3), 1e-8));
+    }
+
+    #[test]
+    fn into_variants_match_allocating_versions_bitwise() {
+        let mut ws = SvdScratch::new();
+        let m = Matrix::from_fn(4, 4, |i, j| ((i * 4 + j) as f64).sin() + 0.2);
+        let mut out = Matrix::filled(4, 4, f64::NAN);
+        procrustes_into(&m, &mut ws, &mut out).unwrap();
+        assert_eq!(out.as_slice(), procrustes(&m).unwrap().as_slice());
+
+        // Reuse the same (dirty) scratch for a polar factor of another shape.
+        let p = Matrix::from_fn(9, 3, |i, j| (i as f64 * 0.5 - j as f64).cos());
+        let mut out = Matrix::filled(9, 3, f64::NAN);
+        for _ in 0..2 {
+            polar_orthogonalize_into(&p, &mut ws, &mut out).unwrap();
+            assert_eq!(out.as_slice(), polar_orthogonalize(&p).unwrap().as_slice());
+        }
     }
 
     #[test]

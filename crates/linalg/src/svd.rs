@@ -31,21 +31,102 @@ pub struct Svd {
     pub v: Matrix,
 }
 
+/// Grow-only scratch buffers for repeated SVDs of same-shaped inputs.
+///
+/// The block-coordinate solver calls the SVD (through the Procrustes and
+/// polar-decomposition wrappers) every iteration on fixed shapes; routing
+/// those calls through one `SvdScratch` makes every iteration after the
+/// first allocation-free. Buffers are reallocated only when the input shape
+/// changes; they never shrink. Results land in the public `u` / `s` / `v`
+/// fields and are valid until the next [`Svd::compute_scratch`] call.
+#[derive(Debug, Clone)]
+pub struct SvdScratch {
+    /// Left singular vectors of the last decomposition, `m × k`.
+    pub u: Matrix,
+    /// Singular values of the last decomposition, descending, length `k`.
+    pub s: Vec<f64>,
+    /// Right singular vectors of the last decomposition, `n × k`.
+    pub v: Matrix,
+    ut: Matrix,
+    vwork: Matrix,
+    at: Matrix,
+    ut_sorted: Matrix,
+    svals: Vec<f64>,
+    order: Vec<usize>,
+    cand: Vec<f64>,
+}
+
+impl SvdScratch {
+    /// An empty scratch; every buffer is allocated on first use.
+    pub fn new() -> Self {
+        let z = || Matrix::zeros(0, 0);
+        SvdScratch {
+            u: z(),
+            s: Vec::new(),
+            v: z(),
+            ut: z(),
+            vwork: z(),
+            at: z(),
+            ut_sorted: z(),
+            svals: Vec::new(),
+            order: Vec::new(),
+            cand: Vec::new(),
+        }
+    }
+}
+
+impl Default for SvdScratch {
+    fn default() -> Self {
+        SvdScratch::new()
+    }
+}
+
+/// Reallocates `buf` only when its shape differs. Contents are unspecified
+/// afterwards — the caller must overwrite every entry it reads back.
+fn ensure_shape(buf: &mut Matrix, rows: usize, cols: usize) {
+    if buf.shape() != (rows, cols) {
+        *buf = Matrix::zeros(rows, cols);
+    }
+}
+
 impl Svd {
     /// Computes the thin SVD of `a`.
     pub fn compute(a: &Matrix) -> Result<Svd> {
+        let mut ws = SvdScratch::new();
+        Svd::compute_scratch(a, &mut ws)?;
+        let SvdScratch { u, s, v, .. } = ws;
+        Ok(Svd { u, s, v })
+    }
+
+    /// Computes the thin SVD of `a` into `ws.u` / `ws.s` / `ws.v`, reusing
+    /// the scratch's buffers. Numerically identical to [`Svd::compute`]
+    /// (which is this routine with a fresh scratch); after a warm-up call
+    /// on each shape, subsequent calls allocate nothing.
+    pub fn compute_scratch(a: &Matrix, ws: &mut SvdScratch) -> Result<()> {
         let (m, n) = a.shape();
         if m == 0 || n == 0 {
             let k = m.min(n);
-            return Ok(Svd { u: Matrix::zeros(m, k), s: vec![0.0; k], v: Matrix::zeros(n, k) });
+            ensure_shape(&mut ws.u, m, k);
+            ensure_shape(&mut ws.v, n, k);
+            ws.s.clear();
+            ws.s.resize(k, 0.0);
+            return Ok(());
         }
         if m >= n {
-            svd_tall(a)
+            svd_tall_scratch(a, ws)?;
         } else {
-            // SVD(Aᵀ) = V Σ Uᵀ — swap the factors.
-            let t = svd_tall(&a.transpose())?;
-            Ok(Svd { u: t.v, s: t.s, v: t.u })
+            // SVD(Aᵀ) = V Σ Uᵀ — run the tall path on the transpose and
+            // swap the factors. `at` is moved out of the scratch for the
+            // duration of the call to keep the borrows disjoint.
+            let mut at = std::mem::replace(&mut ws.at, Matrix::zeros(0, 0));
+            ensure_shape(&mut at, n, m);
+            a.transpose_into(&mut at);
+            let result = svd_tall_scratch(&at, ws);
+            ws.at = at;
+            result?;
+            std::mem::swap(&mut ws.u, &mut ws.v);
         }
+        Ok(())
     }
 
     /// Numerical rank: number of singular values above
@@ -68,16 +149,24 @@ impl Svd {
     }
 }
 
-/// One-sided Jacobi on a tall (m ≥ n) matrix.
-fn svd_tall(a: &Matrix) -> Result<Svd> {
+/// One-sided Jacobi on a tall (m ≥ n) matrix, writing into the scratch's
+/// output fields. Allocation-free once the scratch buffers match the shape.
+fn svd_tall_scratch(a: &Matrix, ws: &mut SvdScratch) -> Result<()> {
     let (m, n) = a.shape();
     debug_assert!(m >= n);
-    let mut u = a.clone();
-    let mut v = Matrix::identity(n);
 
     // Column views are strided in row-major storage, so work on transposed
-    // buffers: rows of `ut` are the columns of `u`.
-    let mut ut = u.transpose();
+    // buffers: rows of `ut` are the columns of the working copy of `a`.
+    ensure_shape(&mut ws.ut, n, m);
+    a.transpose_into(&mut ws.ut);
+    let ut = &mut ws.ut;
+    ensure_shape(&mut ws.vwork, n, n);
+    ws.vwork.as_mut_slice().fill(0.0);
+    for i in 0..n {
+        ws.vwork[(i, i)] = 1.0;
+    }
+    let v = &mut ws.vwork;
+
     let mut converged = false;
     let scale_ref = a.max_abs().max(f64::MIN_POSITIVE);
     for _sweep in 0..MAX_SWEEPS {
@@ -102,7 +191,7 @@ fn svd_tall(a: &Matrix) -> Result<Svd> {
                 let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
                 let c = 1.0 / (1.0 + t * t).sqrt();
                 let s = c * t;
-                rotate_rows(&mut ut, p, q, c, s);
+                rotate_rows(ut, p, q, c, s);
                 // Accumulate into V (same rotation on the right factor).
                 for k in 0..n {
                     let vkp = v[(k, p)];
@@ -122,10 +211,14 @@ fn svd_tall(a: &Matrix) -> Result<Svd> {
     }
 
     // Extract singular values and normalize the left vectors.
-    let mut s: Vec<f64> = (0..n).map(|j| norm2(ut.row(j))).collect();
-    let smax = s.iter().fold(0.0f64, |a, &b| a.max(b));
+    ws.svals.clear();
+    for j in 0..n {
+        let nj = norm2(ut.row(j));
+        ws.svals.push(nj);
+    }
+    let smax = ws.svals.iter().fold(0.0f64, |a, &b| a.max(b));
     let zero_tol = f64::EPSILON * smax * m as f64;
-    for (j, sv) in s.iter_mut().enumerate() {
+    for (j, sv) in ws.svals.iter_mut().enumerate() {
         if *sv > zero_tol {
             let inv = 1.0 / *sv;
             scale(inv, ut.row_mut(j));
@@ -135,21 +228,36 @@ fn svd_tall(a: &Matrix) -> Result<Svd> {
         }
     }
 
-    // Sort descending.
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| s[b].partial_cmp(&s[a]).unwrap_or(std::cmp::Ordering::Equal));
-    let mut s_sorted = vec![0.0; n];
-    let mut ut_sorted = Matrix::zeros(n, m);
-    let mut v_sorted = Matrix::zeros(n, n);
-    for (new, &old) in order.iter().enumerate() {
-        s_sorted[new] = s[old];
-        ut_sorted.row_mut(new).copy_from_slice(ut.row(old));
-        v_sorted.set_col(new, &v.col(old));
+    // Sort descending. `sort_unstable` avoids the stable sort's temp
+    // allocation; the index tie-break makes the order deterministic (and
+    // equal to what a stable sort would produce).
+    ws.order.clear();
+    ws.order.extend(0..n);
+    {
+        let svals = &ws.svals;
+        ws.order.sort_unstable_by(|&a, &b| {
+            svals[b]
+                .partial_cmp(&svals[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+    }
+    ws.s.clear();
+    ws.s.resize(n, 0.0);
+    ensure_shape(&mut ws.ut_sorted, n, m);
+    ensure_shape(&mut ws.v, n, n);
+    for (new, &old) in ws.order.iter().enumerate() {
+        ws.s[new] = ws.svals[old];
+        ws.ut_sorted.row_mut(new).copy_from_slice(ws.ut.row(old));
+        for k in 0..n {
+            ws.v[(k, new)] = ws.vwork[(k, old)];
+        }
     }
 
-    complete_orthonormal_rows(&mut ut_sorted, &s_sorted);
-    u = ut_sorted.transpose();
-    Ok(Svd { u, s: s_sorted, v: v_sorted })
+    complete_orthonormal_rows(&mut ws.ut_sorted, &ws.s, &mut ws.cand);
+    ensure_shape(&mut ws.u, m, n);
+    ws.ut_sorted.transpose_into(&mut ws.u);
+    Ok(())
 }
 
 /// Applies the rotation `[c -s; s c]` to rows `p`, `q` of `m` (which hold
@@ -171,28 +279,30 @@ fn rotate_rows(m: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
 }
 
 /// Replaces zero rows (null left-singular directions) with unit vectors
-/// orthonormal to every other row.
-fn complete_orthonormal_rows(ut: &mut Matrix, s: &[f64]) {
+/// orthonormal to every other row. `cand` is caller-provided scratch so the
+/// candidate vector costs no allocation per call.
+fn complete_orthonormal_rows(ut: &mut Matrix, s: &[f64], cand: &mut Vec<f64>) {
     let (k, m) = ut.shape();
+    cand.resize(m, 0.0);
     for (j, &sj) in s.iter().enumerate().take(k) {
         if sj > 0.0 {
             continue;
         }
         // Try standard basis vectors until one survives orthogonalization.
         'candidates: for e in 0..m {
-            let mut cand = vec![0.0; m];
+            cand.fill(0.0);
             cand[e] = 1.0;
             for r in 0..k {
                 if r == j {
                     continue;
                 }
-                let proj = dot(&cand, ut.row(r));
-                axpy(-proj, &{ ut.row(r).to_vec() }, &mut cand);
+                let proj = dot(cand, ut.row(r));
+                axpy(-proj, ut.row(r), cand);
             }
-            let n = norm2(&cand);
+            let n = norm2(cand);
             if n > 1e-6 {
-                scale(1.0 / n, &mut cand);
-                ut.row_mut(j).copy_from_slice(&cand);
+                scale(1.0 / n, cand);
+                ut.row_mut(j).copy_from_slice(cand);
                 break 'candidates;
             }
         }
@@ -296,6 +406,36 @@ mod tests {
         let svd = Svd::compute(&a).expect("tall correlated SVD must converge");
         assert!(svd.u.matmul_transpose_a(&svd.u).approx_eq(&Matrix::identity(c), 1e-9));
         assert!(svd.reconstruct().approx_eq(&a, 1e-8 * (1.0 + a.max_abs())));
+    }
+
+    #[test]
+    fn scratch_reuse_is_bitwise_identical_to_fresh_compute() {
+        // One warm scratch across differently-shaped inputs (tall, wide,
+        // square, rank-deficient): every decomposition must match the
+        // fresh-scratch path bit for bit.
+        let inputs = [
+            Matrix::from_fn(7, 3, |i, j| ((i * 3 + j) as f64).sin()),
+            Matrix::from_fn(3, 7, |i, j| ((i * 5 + j * 2) as f64).cos()),
+            Matrix::from_fn(5, 5, |i, j| (i as f64 - j as f64) * 0.3 + ((i * j) as f64).sin()),
+            Matrix::from_fn(5, 3, |i, j| (i as f64 + 1.0) * (j as f64 + 1.0)),
+            Matrix::zeros(4, 2),
+        ];
+        let mut ws = SvdScratch::new();
+        for (idx, a) in inputs.iter().enumerate() {
+            let fresh = Svd::compute(a).unwrap();
+            Svd::compute_scratch(a, &mut ws).unwrap();
+            assert_eq!(ws.u.as_slice(), fresh.u.as_slice(), "U differs on input {idx}");
+            assert_eq!(ws.s, fresh.s, "σ differs on input {idx}");
+            assert_eq!(ws.v.as_slice(), fresh.v.as_slice(), "V differs on input {idx}");
+        }
+        // Second pass over the same inputs with the now-dirty scratch.
+        for (idx, a) in inputs.iter().enumerate() {
+            let fresh = Svd::compute(a).unwrap();
+            Svd::compute_scratch(a, &mut ws).unwrap();
+            assert_eq!(ws.u.as_slice(), fresh.u.as_slice(), "U differs on reuse of input {idx}");
+            assert_eq!(ws.s, fresh.s, "σ differs on reuse of input {idx}");
+            assert_eq!(ws.v.as_slice(), fresh.v.as_slice(), "V differs on reuse of input {idx}");
+        }
     }
 
     #[test]

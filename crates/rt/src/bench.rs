@@ -6,6 +6,16 @@
 //! EXPERIMENTS.md by hand. Bench targets keep `harness = false` and call
 //! this from `main`, so `cargo bench` works exactly as before.
 //!
+//! Two environment hooks make the timer scriptable:
+//!
+//! * `UMSC_BENCH_JSON=<path>` — every [`Bench::run`] additionally appends
+//!   one JSON object per line (JSONL) to `<path>`, so `scripts/bench.sh`
+//!   can assemble a machine-readable perf trajectory (`BENCH_2.json`)
+//!   without scraping stdout;
+//! * `UMSC_BENCH_SMOKE=1` — bench binaries that consult [`smoke`] shrink
+//!   their problem sizes to seconds-scale, letting `scripts/verify.sh`
+//!   exercise the whole harness (including the JSON output) offline.
+//!
 //! ```
 //! use umsc_rt::bench::Bench;
 //! let mut b = Bench::new("demo").sample_size(3);
@@ -13,7 +23,15 @@
 //! assert!(stats.min_ns > 0.0);
 //! ```
 
+use std::io::Write;
 use std::time::Instant;
+
+/// True when `UMSC_BENCH_SMOKE` is set to `1`/`true`: bench binaries
+/// should use tiny problem sizes (CI smoke of the harness itself, not a
+/// measurement).
+pub fn smoke() -> bool {
+    matches!(std::env::var("UMSC_BENCH_SMOKE").as_deref(), Ok("1") | Ok("true"))
+}
 
 /// Summary statistics of one benchmark, in nanoseconds per iteration.
 #[derive(Debug, Clone, Copy)]
@@ -76,8 +94,53 @@ impl Bench {
             fmt_ns(stats.max_ns),
             fmt_ns(stats.mean_ns),
         );
+        record_json(&self.group, id, self.sample_size, &stats);
         stats
     }
+}
+
+/// Appends one JSONL record to `$UMSC_BENCH_JSON` (no-op when unset).
+/// Failures are warnings, not panics — a broken trajectory file must not
+/// take the measurement down with it.
+fn record_json(group: &str, id: &str, samples: usize, stats: &Stats) {
+    let Ok(path) = std::env::var("UMSC_BENCH_JSON") else { return };
+    if path.is_empty() {
+        return;
+    }
+    let line = format!(
+        "{{\"group\":\"{}\",\"id\":\"{}\",\"min_ns\":{},\"median_ns\":{},\"mean_ns\":{},\"max_ns\":{},\"samples\":{},\"threads\":{}}}\n",
+        escape_json(group),
+        escape_json(id),
+        stats.min_ns,
+        stats.median_ns,
+        stats.mean_ns,
+        stats.max_ns,
+        samples,
+        crate::par::max_threads(),
+    );
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = appended {
+        eprintln!("warning: could not append to UMSC_BENCH_JSON={path}: {e}");
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes) —
+/// group/id names are code-controlled, but stay valid regardless.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Human-readable duration from nanoseconds.
@@ -119,5 +182,35 @@ mod tests {
         assert_eq!(fmt_ns(1_500.0), "1.50 µs");
         assert_eq!(fmt_ns(2_500_000.0), "2.50 ms");
         assert_eq!(fmt_ns(3_200_000_000.0), "3.200 s");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(escape_json("plain/kernel_512"), "plain/kernel_512");
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape_json("tab\there"), "tab\\u0009here");
+    }
+
+    #[test]
+    fn jsonl_recording_appends_one_line_per_run() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("umsc_bench_json_test_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("UMSC_BENCH_JSON", &path);
+        let mut b = Bench::new("json_test").sample_size(2);
+        b.run("first", || 1 + 1);
+        b.run("second", || 2 + 2);
+        std::env::remove_var("UMSC_BENCH_JSON");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        // Other tests run concurrently and may also record while the env var
+        // is set — filter to this test's group before asserting.
+        let lines: Vec<&str> =
+            text.lines().filter(|l| l.contains("\"group\":\"json_test\"")).collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        assert!(lines[0].contains("\"id\":\"first\""));
+        assert!(lines[1].contains("\"id\":\"second\""));
+        assert!(lines[1].contains("\"median_ns\":"));
+        assert!(lines[1].contains("\"threads\":"));
     }
 }

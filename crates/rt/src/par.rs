@@ -152,9 +152,65 @@ where
     });
 }
 
+/// Reusable scratch buffer for packed GEMM panels (and similar worker-local
+/// staging areas).
+///
+/// Blocked kernels copy a tile of the right-hand operand into a contiguous
+/// buffer so the micro-kernel streams it linearly. Workers create one
+/// `PanelBuf` per contiguous work chunk and call [`PanelBuf::ensure`] once
+/// per tile: the allocation happens at the first (largest) request and is
+/// reused for every subsequent tile, so packing costs no further heap
+/// traffic. Contents are *not* zeroed between uses — packing overwrites
+/// every slot it reads back.
+#[derive(Debug, Default)]
+pub struct PanelBuf {
+    buf: Vec<f64>,
+}
+
+impl PanelBuf {
+    /// An empty buffer (no allocation until the first [`PanelBuf::ensure`]).
+    pub fn new() -> Self {
+        PanelBuf { buf: Vec::new() }
+    }
+
+    /// Returns a mutable slice of exactly `len` elements, growing the
+    /// backing storage only when the current capacity is insufficient.
+    pub fn ensure(&mut self, len: usize) -> &mut [f64] {
+        if self.buf.len() < len {
+            self.buf.resize(len, 0.0);
+        }
+        &mut self.buf[..len]
+    }
+
+    /// Current backing capacity in elements (diagnostics / tests).
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn panel_buf_grows_once_and_reuses() {
+        let mut p = PanelBuf::new();
+        assert_eq!(p.capacity(), 0);
+        {
+            let s = p.ensure(128);
+            assert_eq!(s.len(), 128);
+            s[0] = 1.0;
+            s[127] = 2.0;
+        }
+        // Smaller request reuses the same storage (no shrink).
+        let s = p.ensure(16);
+        assert_eq!(s.len(), 16);
+        assert_eq!(s[0], 1.0, "contents persist across ensure calls");
+        assert_eq!(p.capacity(), 128);
+        // Larger request grows.
+        assert_eq!(p.ensure(200).len(), 200);
+        assert_eq!(p.capacity(), 200);
+    }
 
     #[test]
     fn map_range_matches_sequential_for_all_thread_counts() {

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Hermetic-build gate: the whole workspace must build, test and lint
-# offline (no registry, no network) from a clean checkout.
+# offline (no registry, no network) from a clean checkout — and the perf
+# harness must run end to end at smoke scale and emit a parseable
+# snapshot (bench_report exits non-zero on any parse/shape failure).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -8,4 +10,11 @@ cargo build --workspace --release --offline
 cargo test -q --workspace --offline
 cargo clippy --workspace --offline --all-targets -- -D warnings
 
-echo "verify: OK (offline build + tests + clippy)"
+smoke_json="$(mktemp /tmp/umsc-verify-bench.XXXXXX.json)"
+trap 'rm -f "$smoke_json"' EXIT
+UMSC_BENCH_SMOKE=1 scripts/bench.sh "$smoke_json"
+[ -s "$smoke_json" ] || { echo "verify: bench smoke wrote an empty snapshot" >&2; exit 1; }
+grep -q '"schema":"umsc-bench-trajectory/v1"' "$smoke_json" \
+    || { echo "verify: bench snapshot missing schema marker" >&2; exit 1; }
+
+echo "verify: OK (offline build + tests + clippy + bench smoke)"
