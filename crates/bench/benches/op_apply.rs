@@ -1,0 +1,115 @@
+//! Microbench: the matrix-free operator layer (`umsc-op`) — one operator
+//! application per node kind, vector and block variants. The interesting
+//! comparisons: CSR vs dense at Laplacian-like sparsity (the sparse
+//! solver's whole premise), the overhead a 3-view `WeightedSum` adds over
+//! its raw CSR members, and a low-rank anchor factor vs the dense matrix
+//! it stands in for.
+
+use std::hint::black_box;
+use umsc_graph::CsrMatrix;
+use umsc_linalg::Matrix;
+use umsc_op::{DenseOp, LinOp, LowRankAnchor, WeightedSum};
+use umsc_rt::bench::{smoke, Bench};
+
+/// Banded symmetric diagonally-dominant matrix (Laplacian-shaped, ~9
+/// non-zeros per row — k-NN-graph sparsity).
+fn laplacian_like(n: usize) -> Matrix {
+    let mut m = Matrix::zeros(n, n);
+    for i in 0..n {
+        let mut deg = 0.0;
+        for off in 1..=4usize {
+            let j = (i + off) % n;
+            let w = 0.5 + 0.5 * ((i * 7 + j) as f64).sin().abs();
+            m[(i, j)] = -w;
+            m[(j, i)] = -w;
+            deg += w;
+        }
+        m[(i, i)] += 2.0 * deg;
+    }
+    m.symmetrize_mut();
+    m
+}
+
+fn test_vector(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i * 13 + 3) as f64).sin()).collect()
+}
+
+/// The operator views must agree bitwise before their timings mean
+/// anything: CSR and dense wrap the very same matrix here.
+fn spot_check(n: usize) {
+    let a = laplacian_like(n);
+    let csr = CsrMatrix::from_dense(&a, 1e-12);
+    let dense_op = DenseOp::new(n, a.as_slice());
+    let x = test_vector(n);
+    let (mut yd, mut ys, mut yw) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+    dense_op.apply_into(&x, &mut yd);
+    csr.as_op().apply_into(&x, &mut ys);
+    assert_eq!(yd, ys, "CSR apply diverges from dense apply");
+    let fused = WeightedSum::with_weights(vec![csr.as_op()], &[1.0]);
+    fused.apply_into(&x, &mut yw);
+    for (w, s) in yw.iter().zip(ys.iter()) {
+        assert_eq!(w, s, "unit WeightedSum diverges from its single member");
+    }
+}
+
+fn bench_vector_apply(samples: usize, sizes: &[usize], rank: usize) {
+    let mut g = Bench::new("op_apply_vector").sample_size(samples);
+    for &n in sizes {
+        let a = laplacian_like(n);
+        let csrs: Vec<CsrMatrix> = (0..3).map(|_| CsrMatrix::from_dense(&a, 1e-12)).collect();
+        let z = Matrix::from_fn(n, rank, |i, j| ((i * 5 + j * 11) as f64).cos());
+        let x = test_vector(n);
+        let mut y = vec![0.0; n];
+
+        let dense_op = DenseOp::new(n, a.as_slice());
+        g.run(&format!("dense/{n}"), || dense_op.apply_into(black_box(&x), &mut y));
+        let csr_op = csrs[0].as_op();
+        g.run(&format!("csr/{n}"), || csr_op.apply_into(black_box(&x), &mut y));
+        let fused =
+            WeightedSum::with_weights(csrs.iter().map(|c| c.as_op()).collect(), &[0.5, 0.3, 0.2]);
+        g.run(&format!("weighted_sum3/{n}"), || fused.apply_into(black_box(&x), &mut y));
+        let anchor = LowRankAnchor::new(n, rank, z.as_slice());
+        g.run(&format!("low_rank{rank}/{n}"), || anchor.apply_into(black_box(&x), &mut y));
+    }
+}
+
+fn bench_block_apply(samples: usize, sizes: &[usize], ncols: usize, rank: usize) {
+    let mut g = Bench::new("op_apply_block").sample_size(samples);
+    for &n in sizes {
+        let a = laplacian_like(n);
+        let csrs: Vec<CsrMatrix> = (0..3).map(|_| CsrMatrix::from_dense(&a, 1e-12)).collect();
+        let z = Matrix::from_fn(n, rank, |i, j| ((i * 5 + j * 11) as f64).cos());
+        let x: Vec<f64> = (0..n * ncols).map(|i| ((i * 7 + 1) as f64).sin()).collect();
+        let mut y = vec![0.0; n * ncols];
+
+        let dense_op = DenseOp::new(n, a.as_slice());
+        g.run(&format!("dense/{n}x{ncols}"), || {
+            dense_op.apply_block_into(black_box(&x), ncols, &mut y)
+        });
+        let csr_op = csrs[0].as_op();
+        g.run(&format!("csr/{n}x{ncols}"), || {
+            csr_op.apply_block_into(black_box(&x), ncols, &mut y)
+        });
+        let fused =
+            WeightedSum::with_weights(csrs.iter().map(|c| c.as_op()).collect(), &[0.5, 0.3, 0.2]);
+        g.run(&format!("weighted_sum3/{n}x{ncols}"), || {
+            fused.apply_block_into(black_box(&x), ncols, &mut y)
+        });
+        let anchor = LowRankAnchor::new(n, rank, z.as_slice());
+        g.run(&format!("low_rank{rank}/{n}x{ncols}"), || {
+            anchor.apply_block_into(black_box(&x), ncols, &mut y)
+        });
+    }
+}
+
+fn main() {
+    if smoke() {
+        spot_check(96);
+        bench_vector_apply(2, &[256], 16);
+        bench_block_apply(2, &[256], 4, 16);
+    } else {
+        spot_check(512);
+        bench_vector_apply(10, &[1024, 4096], 64);
+        bench_block_apply(10, &[1024, 4096], 8, 64);
+    }
+}

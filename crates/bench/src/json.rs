@@ -1,5 +1,5 @@
 //! Minimal JSON parser and serializer — just enough to assemble and
-//! validate the perf-trajectory snapshot (`BENCH_2.json`) without pulling
+//! validate the perf-trajectory snapshot (`BENCH_3.json`) without pulling
 //! in serde (the workspace builds offline with no external deps).
 //!
 //! Supports the full JSON value grammar (objects, arrays, strings with

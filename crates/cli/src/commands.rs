@@ -2,8 +2,8 @@
 
 use crate::args::Args;
 use std::path::Path;
-use umsc_baselines::{standard_suite, ClusteringMethod, UmscMethod};
-use umsc_core::{AnchorAssigner, AnchorUmsc, AnchorUmscConfig, Metric, UmscConfig};
+use umsc_baselines::standard_suite;
+use umsc_core::{AnchorAssigner, AnchorUmsc, AnchorUmscConfig, Metric, Umsc, UmscConfig};
 use umsc_data::{benchmark, BenchmarkId, MultiViewDataset};
 use umsc_metrics::MetricSuite;
 
@@ -91,8 +91,19 @@ fn cluster(args: &Args) -> Result<(), String> {
     } else if method_name == "umsc" {
         let lambda: f64 = args.get_parsed("lambda", 1.0)?;
         let cfg = UmscConfig::new(c).with_lambda(lambda).with_metric(metric).with_seed(seed);
-        let out = UmscMethod::with_config(cfg, "UMSC").cluster(&data, seed).map_err(|e| e.to_string())?;
-        (out.labels, out.view_weights)
+        let model = Umsc::new(cfg);
+        // `auto` keys the operator representation off the graph kind: the
+        // default k-NN graph runs the matrix-free CSR path, dense/CAN
+        // graphs the dense one.
+        let res = match args.get("representation").unwrap_or("auto") {
+            "auto" => model.fit_auto(&data),
+            "dense" => model.fit(&data),
+            "sparse" => umsc_core::build_view_laplacians_sparse(&data, &model.config().graph_config())
+                .and_then(|ls| model.fit_laplacians_sparse(&ls)),
+            other => return Err(format!("unknown --representation {other:?} (auto|dense|sparse)")),
+        }
+        .map_err(|e| e.to_string())?;
+        (res.labels, Some(res.view_weights))
     } else {
         let method = standard_suite(c)
             .into_iter()
@@ -206,6 +217,42 @@ mod tests {
             dir.join("labels.csv").to_str().unwrap(),
         ]))
         .unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn representation_flag_accepted_and_validated() {
+        let dir = tmp("repr");
+        let _ = std::fs::remove_dir_all(&dir);
+        let data = umsc_data::synth::MultiViewGmm::new(
+            "r",
+            2,
+            12,
+            vec![umsc_data::ViewSpec::clean(3)],
+        )
+        .generate(2);
+        umsc_data::io::save_csv(&data, &dir).unwrap();
+        for repr in ["auto", "dense", "sparse"] {
+            dispatch(&argv(&[
+                "cluster",
+                "--data",
+                dir.to_str().unwrap(),
+                "--clusters",
+                "2",
+                "--representation",
+                repr,
+            ]))
+            .unwrap();
+        }
+        let err = dispatch(&argv(&[
+            "cluster",
+            "--data",
+            dir.to_str().unwrap(),
+            "--representation",
+            "quantum",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--representation"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

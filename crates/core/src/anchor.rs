@@ -23,7 +23,8 @@ use crate::indicator::{discretize_rows, labels_to_indicator};
 use crate::solver::{init_rotation, IterationStats, UmscResult};
 use crate::Result;
 use umsc_data::MultiViewDataset;
-use umsc_linalg::{lanczos_smallest, polar_orthogonalize, procrustes, LanczosConfig, LinearOperator, Matrix};
+use umsc_linalg::{lanczos_smallest, polar_orthogonalize, procrustes, LanczosConfig, Matrix};
+use umsc_op::{DiagShift, LinOp, LowRankAnchor, WeightedSum};
 
 /// Configuration of the anchor-based solver.
 #[derive(Debug, Clone)]
@@ -573,36 +574,18 @@ fn view_traces(factors: &[Matrix], f: &Matrix) -> Vec<f64> {
         .collect()
 }
 
-/// Shifted fused operator `(s + ε)·I − Σ w_v B_v B_vᵀ`: its smallest
-/// eigenvectors are the largest of the fused anchor affinity, i.e. the
-/// smallest of the fused normalized Laplacian.
-struct ShiftedFusedOp<'a> {
-    factors: &'a [Matrix],
-    weights: &'a [f64],
-    shift: f64,
-}
-
-impl LinearOperator for ShiftedFusedOp<'_> {
-    fn dim(&self) -> usize {
-        self.factors[0].rows()
-    }
-    fn apply(&self, x: &[f64], y: &mut [f64]) {
-        for (yi, &xi) in y.iter_mut().zip(x.iter()) {
-            *yi = self.shift * xi;
-        }
-        for (b, &w) in self.factors.iter().zip(self.weights.iter()) {
-            let btx = b.matvec_transpose(x);
-            let bbtx = b.matvec(&btx);
-            for (yi, &v) in y.iter_mut().zip(bbtx.iter()) {
-                *yi -= w * v;
-            }
-        }
-    }
-}
-
+/// Smallest eigenvectors of the shifted fused operator
+/// `(s + ε)·I − Σ w_v B_v B_vᵀ`: the largest of the fused anchor affinity,
+/// i.e. the smallest of the fused normalized Laplacian. Composed from
+/// [`umsc_op`] nodes — each `B_v B_vᵀ` stays an implicit rank-`m` factor,
+/// so one application costs O(n·m) instead of O(n²).
 fn fused_embedding(factors: &[Matrix], weights: &[f64], c: usize, seed: u64) -> Result<Matrix> {
-    let s: f64 = weights.iter().sum();
-    let op = ShiftedFusedOp { factors, weights, shift: s + 1e-9 };
+    let ops: Vec<LowRankAnchor<'_>> = factors
+        .iter()
+        .map(|b| LowRankAnchor::new(b.rows(), b.cols(), b.as_slice()))
+        .collect();
+    let shift = weights.iter().sum::<f64>() + 1e-9;
+    let op = DiagShift::new(shift, WeightedSum::with_weights(ops, weights));
     let cfg = LanczosConfig { seed, initial_subspace: (2 * c + 20).min(op.dim()), ..Default::default() };
     let (_, vecs) = lanczos_smallest(&op, c, &cfg)?;
     Ok(vecs)

@@ -20,7 +20,7 @@
 //! rotated indicator.
 
 use crate::Result;
-use umsc_linalg::{polar_orthogonalize_into, Matrix, SvdScratch};
+use umsc_linalg::{polar_orthogonalize_into, LinOp, Matrix, SvdScratch};
 
 /// Objective value `tr(FᵀAF) − 2·tr(FᵀB)`.
 pub fn gpi_objective(a: &Matrix, b: &Matrix, f: &Matrix) -> f64 {
@@ -31,9 +31,11 @@ pub fn gpi_objective(a: &Matrix, b: &Matrix, f: &Matrix) -> f64 {
 }
 
 /// [`gpi_objective`] through caller-provided scratch (`af` is `n × k`,
-/// `cc` is `k × k`): allocation-free, numerically identical.
-fn gpi_objective_ws(a: &Matrix, b: &Matrix, f: &Matrix, af: &mut Matrix, cc: &mut Matrix) -> f64 {
-    a.matmul_into(f, af);
+/// `cc` is `k × k`): allocation-free, numerically identical. `a` is any
+/// matrix-free operator; a dense [`Matrix`] takes the same row-kernel
+/// path as `Matrix::matmul_into`, so dense results are unchanged.
+fn gpi_objective_ws(a: &dyn LinOp, b: &Matrix, f: &Matrix, af: &mut Matrix, cc: &mut Matrix) -> f64 {
+    a.apply_block_into(f.as_slice(), f.cols(), af.as_mut_slice());
     f.matmul_transpose_a_into(af, cc);
     let quad = cc.trace();
     f.matmul_transpose_a_into(b, cc);
@@ -109,19 +111,48 @@ pub fn gpi_stiefel_ws(
     assert!(a.is_square() && a.rows() == n, "gpi_stiefel: A must be {n}x{n}");
     assert_eq!(b.shape(), (n, k), "gpi_stiefel: B must be {n}x{k}");
     assert!(n >= k, "gpi_stiefel: need n >= k");
-    ws.ensure(n, k);
-    let GpiWorkspace { m, af, cc, svd } = ws;
 
     // Safe shift: Gershgorin bound with a small positive margin so ηI − A
-    // stays PSD even under rounding.
+    // stays PSD even under rounding. (Entry-wise bounds need the dense
+    // matrix; matrix-free callers supply their own η via
+    // [`gpi_stiefel_op_ws`].)
     let eta = a.gershgorin_upper_bound().max(0.0) + 1e-9;
+    gpi_stiefel_op_ws(a, eta, b, f, max_iter, tol, ws)
+}
+
+/// Matrix-free GPI: advances `f` in place against any [`LinOp`] `a`,
+/// given a shift `eta ≥ λ_max(A)` (the caller knows its operator's
+/// spectral bound — e.g. `Σ_v w_v · 2` for normalized Laplacians).
+///
+/// For a dense [`Matrix`] operator this is numerically identical to
+/// [`gpi_stiefel_ws`]: the `Matrix` implementation of
+/// [`LinOp::apply_block_into`] is bitwise-identical to `matmul_into`.
+/// Allocation-free once `ws` (and any operator-internal scratch) is warm.
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn gpi_stiefel_op_ws(
+    a: &dyn LinOp,
+    eta: f64,
+    b: &Matrix,
+    f: &mut Matrix,
+    max_iter: usize,
+    tol: f64,
+    ws: &mut GpiWorkspace,
+) -> Result<()> {
+    let (n, k) = f.shape();
+    assert_eq!(a.dim(), n, "gpi_stiefel: A must be {n}x{n}");
+    assert_eq!(b.shape(), (n, k), "gpi_stiefel: B must be {n}x{k}");
+    assert!(n >= k, "gpi_stiefel: need n >= k");
+    ws.ensure(n, k);
+    let GpiWorkspace { m, af, cc, svd } = ws;
 
     let mut prev = gpi_objective_ws(a, b, f, af, cc);
     for _ in 0..max_iter.max(1) {
         // M = (ηI − A)F + B = η·F − A·F + B.
         m.copy_from(f);
         m.scale_mut(eta);
-        a.matmul_into(f, af);
+        a.apply_block_into(f.as_slice(), k, af.as_mut_slice());
         m.axpy(-1.0, af);
         m.axpy(1.0, b);
         polar_orthogonalize_into(m, svd, f)?;
@@ -197,6 +228,22 @@ mod tests {
         // tr(Fᵀ target) close to k (perfect alignment).
         let align = f.matmul_transpose_a(&target).trace();
         assert!(align > 2.0 - 1e-4, "alignment {align}");
+    }
+
+    #[test]
+    fn op_path_is_bitwise_identical_to_dense_path() {
+        let a = sym(9, |i, j| ((i * 5 + j) as f64).sin() + if i == j { 3.0 } else { 0.0 });
+        let b = Matrix::from_fn(9, 3, |i, j| ((i + 2 * j) as f64).cos() * 0.1);
+        let f0 = stiefel_init(9, 3);
+
+        let mut f_dense = f0.clone();
+        gpi_stiefel_ws(&a, &b, &mut f_dense, 25, 1e-12, &mut GpiWorkspace::new()).unwrap();
+
+        let eta = a.gershgorin_upper_bound().max(0.0) + 1e-9;
+        let mut f_op = f0.clone();
+        gpi_stiefel_op_ws(&a, eta, &b, &mut f_op, 25, 1e-12, &mut GpiWorkspace::new()).unwrap();
+
+        assert!(f_dense.approx_eq(&f_op, 0.0), "dense and operator GPI paths diverge");
     }
 
     #[test]

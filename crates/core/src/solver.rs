@@ -22,7 +22,7 @@ use crate::indicator::{
     discretize_rows, discretize_rows_into, discretize_scaled_inplace, labels_to_indicator,
     labels_to_indicator_into, scaled_indicator_into,
 };
-use crate::pipeline::{build_view_laplacians, spectral_embedding};
+use crate::pipeline::{build_view_laplacians, build_view_laplacians_sparse, spectral_embedding};
 use crate::workspace::SolverWorkspace;
 use crate::Result;
 use umsc_data::MultiViewDataset;
@@ -115,6 +115,22 @@ impl Umsc {
     pub fn fit(&self, data: &MultiViewDataset) -> Result<UmscResult> {
         let laplacians = build_view_laplacians(data, &self.config.graph_config())?;
         self.fit_laplacians(&laplacians)
+    }
+
+    /// Like [`Umsc::fit`], but picks the operator representation from the
+    /// configured graph kind: natively sparse graphs (see
+    /// [`crate::GraphKind::is_sparse`]) run the matrix-free CSR path
+    /// ([`Umsc::fit_laplacians_sparse`]) — O(nnz + n·c) workspace memory
+    /// instead of O(n²) — while dense/CAN graphs, and the `KMeans`
+    /// discretization ablation (dense-path only), take [`Umsc::fit`].
+    pub fn fit_auto(&self, data: &MultiViewDataset) -> Result<UmscResult> {
+        let kmeans = matches!(self.config.discretization, Discretization::KMeans { .. });
+        if self.config.graph.is_sparse() && !kmeans {
+            let laplacians = build_view_laplacians_sparse(data, &self.config.graph_config())?;
+            self.fit_laplacians_sparse(&laplacians)
+        } else {
+            self.fit(data)
+        }
     }
 
     /// Fits the model on precomputed per-view **affinity** matrices
@@ -412,7 +428,7 @@ impl Umsc {
     }
 
     /// [`Umsc::weights_from_traces`] reusing the output vector's capacity.
-    fn weights_from_traces_into(&self, traces: &[f64], weights: &mut Vec<f64>) {
+    pub(crate) fn weights_from_traces_into(&self, traces: &[f64], weights: &mut Vec<f64>) {
         weights.clear();
         match &self.config.weighting {
             Weighting::Auto => weights.extend(traces.iter().map(|&t| 1.0 / (2.0 * t.max(1e-10).sqrt()))),
@@ -426,7 +442,7 @@ impl Umsc {
 
     /// The embedding term of the reported objective (scheme-dependent; see
     /// module docs).
-    fn embedding_objective(&self, traces: &[f64]) -> f64 {
+    pub(crate) fn embedding_objective(&self, traces: &[f64]) -> f64 {
         match &self.config.weighting {
             Weighting::Auto => traces.iter().map(|&t| t.max(0.0).sqrt()).sum(),
             Weighting::Uniform => traces.iter().sum::<f64>() / traces.len() as f64,

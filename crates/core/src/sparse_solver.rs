@@ -4,33 +4,50 @@
 //! memory regardless of sparsity. This module gives [`Umsc`] a second
 //! entry point, [`Umsc::fit_laplacians_sparse`], that keeps every view's
 //! normalized Laplacian in CSR form and runs the same block coordinate
-//! descent matrix-free:
+//! descent matrix-free through the [`umsc_op`] operator layer:
 //!
+//! * the fused Laplacian `Σ_v w_v L_v` is a [`WeightedSum`] over borrowed
+//!   [`CsrOp`] views (see [`sparse_fused_operator`]) — never materialized,
+//!   O(nnz) per application, weights swappable in place per sweep;
 //! * traces `tr(Fᵀ L_v F)` via one sparse×dense product per view —
 //!   O(nnz·c);
-//! * warm-start embedding via Lanczos on the weighted-sum operator —
-//!   O(nnz) per application;
-//! * GPI F-step with `M = ηF − Σ_v w_v (L_v F) + λYRᵀ` and the spectral
-//!   bound `η = 2Σ_v w_v` (normalized Laplacians satisfy `L ⪯ 2I`);
+//! * warm-start embedding via Lanczos on the fused operator;
+//! * GPI F-step through [`gpi_stiefel_op_ws`] with the spectral bound
+//!   `η = 2Σ_v w_v` (normalized Laplacians satisfy `L ⪯ 2I`);
 //! * R/Y steps identical to the dense path (they only touch `n × c`).
 //!
-//! Semantics match the dense path exactly: feeding the same Laplacians
-//! through both produces the same labels (asserted by tests).
+//! Workspace memory is O(nnz + n·c): [`Umsc::one_step_solve_sparse`] never
+//! asks the [`SolverWorkspace`] for its dense `n × n` buffer (asserted by
+//! the peak-memory tests in `tests/alloc_free.rs`). Semantics match the
+//! dense path: feeding the same Laplacians through both produces the same
+//! labels (asserted by tests).
 
 use crate::config::Weighting;
 use crate::error::UmscError;
+use crate::gpi::gpi_stiefel_op_ws;
 use crate::indicator::{
     discretize_rows, discretize_rows_into, discretize_scaled_inplace, labels_to_indicator,
     labels_to_indicator_into,
 };
 use crate::solver::{
     b_matrix_into, effective_indicator, frobenius_distance, init_rotation, row_normalized_into,
-    IterationStats, Umsc, UmscResult,
+    IterationStats, SolverState, StepStats, Umsc, UmscResult,
 };
 use crate::workspace::SolverWorkspace;
 use crate::Result;
 use umsc_graph::CsrMatrix;
-use umsc_linalg::{lanczos_smallest, polar_orthogonalize_into, procrustes_into, LanczosConfig, LinearOperator, Matrix};
+use umsc_linalg::{lanczos_smallest, procrustes_into, LanczosConfig, LinOp, Matrix};
+use umsc_op::{CsrOp, WeightedSum};
+
+/// The fused operator `Σ_v w_v L_v` over borrowed CSR Laplacians — the
+/// sparse path's stand-in for the dense weighted Laplacian. Reuse one
+/// instance across sweeps and call [`WeightedSum::set_weights`] as the
+/// w-step updates weights; applications stay allocation-free once the
+/// internal scratch is warm.
+pub fn sparse_fused_operator<'a>(laplacians: &'a [CsrMatrix], weights: &[f64]) -> WeightedSum<CsrOp<'a>> {
+    let ops: Vec<CsrOp<'a>> = laplacians.iter().map(|l| l.as_op()).collect();
+    WeightedSum::with_weights(ops, weights)
+}
 
 impl Umsc {
     /// Fits the model on precomputed **sparse** per-view normalized
@@ -77,8 +94,6 @@ impl Umsc {
                 converged: true,
             });
         }
-        let lambda_eff = cfg.lambda * c as f64 / (10.0 * n as f64);
-        let scaled = matches!(cfg.discretization, crate::Discretization::ScaledRotation);
 
         // Warm start: relaxed (λ→0) solution via re-weighted Lanczos.
         let nviews = laplacians.len();
@@ -97,80 +112,31 @@ impl Umsc {
             }
         }
 
-        let mut r = init_rotation(&f)?;
-        let mut labels = discretize_rows(&f.matmul(&r));
-        let mut y = labels_to_indicator(&labels, c);
+        let r = init_rotation(&f)?;
+        let labels = discretize_rows(&f.matmul(&r));
+        let y = labels_to_indicator(&labels, c);
+        let mut st = SolverState { f, r, y, labels, weights };
         let mut history: Vec<IterationStats> = Vec::with_capacity(cfg.max_iter);
         let mut converged = false;
 
-        // All per-iteration intermediates live here: the loop body below
-        // performs no heap allocations once the buffers are warm (the
-        // history push aside), mirroring the dense `one_step_solve`.
+        // One fused operator for the whole descent; the w-step swaps its
+        // weights in place. All per-iteration intermediates live in `ws`:
+        // the loop body performs no heap allocations once the buffers are
+        // warm (the history push aside), mirroring the dense path.
+        let mut fused = sparse_fused_operator(laplacians, &st.weights);
         let mut ws = SolverWorkspace::new();
-        ws.ensure(n, c, false);
-        ws.gpi.ensure(n, c);
 
         for _iter in 0..cfg.max_iter {
-            if matches!(cfg.weighting, Weighting::Auto) {
-                sparse_traces_into(laplacians, &f, &mut ws.lf, &mut ws.cc, &mut ws.traces);
-                auto_weights_into(&ws.traces, &mut weights);
-            }
-            let s: f64 = weights.iter().sum();
-            let eta = 2.0 * s + 1e-9;
-
-            // Matrix-free GPI.
-            effective_indicator(&y, scaled, &mut ws.sizes, &mut ws.y_eff);
-            b_matrix_into(&ws.y_eff, &r, lambda_eff, &mut ws.b);
-            for _inner in 0..cfg.gpi_max_iter.max(1) {
-                ws.gpi.m.copy_from(&f);
-                ws.gpi.m.scale_mut(eta);
-                for (l, &w) in laplacians.iter().zip(weights.iter()) {
-                    l.matmul_dense_into(&f, &mut ws.lf);
-                    ws.gpi.m.axpy(-w, &ws.lf);
-                }
-                ws.gpi.m.axpy(1.0, &ws.b);
-                polar_orthogonalize_into(&ws.gpi.m, &mut ws.gpi.svd, &mut ws.f_next)?;
-                let delta = frobenius_distance(&ws.f_next, &f);
-                f.copy_from(&ws.f_next);
-                if delta < 1e-9 * (c as f64).sqrt() {
-                    break;
-                }
-            }
-
-            // R/Y steps (row-normalized Procrustes, exact argmax).
-            effective_indicator(&y, scaled, &mut ws.sizes, &mut ws.y_eff);
-            row_normalized_into(&f, &mut ws.f_tilde);
-            ws.f_tilde.matmul_transpose_a_into(&ws.y_eff, &mut ws.cc);
-            procrustes_into(&ws.cc, &mut ws.svd_r, &mut r)?;
-            f.matmul_into(&r, &mut ws.fr);
-            discretize_rows_into(&ws.fr, &mut labels, &mut ws.counts);
-            if scaled {
-                discretize_scaled_inplace(&ws.fr, &mut labels, 30, &mut ws.dsc_sizes, &mut ws.dsc_sums);
-            }
-            labels_to_indicator_into(&labels, &mut y);
-
-            // Bookkeeping on the reported objective.
-            sparse_traces_into(laplacians, &f, &mut ws.lf, &mut ws.cc, &mut ws.traces);
-            let emb: f64 = match &cfg.weighting {
-                Weighting::Auto => ws.traces.iter().map(|t| t.max(0.0).sqrt()).sum(),
-                Weighting::Uniform => ws.traces.iter().sum::<f64>() / ws.traces.len() as f64,
-                Weighting::Fixed(w) => {
-                    let sw: f64 = w.iter().sum();
-                    w.iter().zip(ws.traces.iter()).map(|(&wi, &t)| wi / sw * t).sum()
-                }
-            };
-            effective_indicator(&y, scaled, &mut ws.sizes, &mut ws.y_eff);
-            let rot = lambda_eff * frobenius_distance(&ws.fr, &ws.y_eff).powi(2);
-            let objective = emb + rot;
-            let prev = history.last().map(|st: &IterationStats| st.objective);
+            let stats = self.one_step_solve_sparse(laplacians, &mut fused, &mut st, &mut ws)?;
+            let prev = history.last().map(|h| h.objective);
             history.push(IterationStats {
-                objective,
-                embedding_term: emb,
-                rotation_term: rot,
-                weights: normalized(&weights),
+                objective: stats.objective,
+                embedding_term: stats.embedding_term,
+                rotation_term: stats.rotation_term,
+                weights: normalized(&st.weights),
             });
             if let Some(p) = prev {
-                if (p - objective).abs() <= cfg.tol * (1.0 + p.abs()) {
+                if (p - stats.objective).abs() <= cfg.tol * (1.0 + p.abs()) {
                     converged = true;
                     break;
                 }
@@ -178,14 +144,67 @@ impl Umsc {
         }
 
         Ok(UmscResult {
-            labels,
-            embedding: f,
-            rotation: r,
-            indicator: y,
-            view_weights: normalized(&weights),
+            labels: st.labels,
+            embedding: st.f,
+            rotation: st.r,
+            indicator: st.y,
+            view_weights: normalized(&st.weights),
             history,
             converged,
         })
+    }
+
+    /// One block-coordinate sweep of the sparse path: the exact analogue
+    /// of `Umsc::one_step_solve` with the fused Laplacian kept implicit as
+    /// a [`WeightedSum`] operator. `fused` must wrap `laplacians` (build it
+    /// with [`sparse_fused_operator`]); its weights are overwritten by the
+    /// w-step. Requests the workspace **without** its dense `n × n` buffer,
+    /// so memory stays O(nnz + n·c).
+    pub fn one_step_solve_sparse(
+        &self,
+        laplacians: &[CsrMatrix],
+        fused: &mut WeightedSum<CsrOp<'_>>,
+        st: &mut SolverState,
+        ws: &mut SolverWorkspace,
+    ) -> Result<StepStats> {
+        let cfg = self.config();
+        let (n, c) = st.f.shape();
+        let scaled = matches!(cfg.discretization, crate::Discretization::ScaledRotation);
+        let lambda_eff = cfg.lambda * c as f64 / (10.0 * n as f64);
+        ws.ensure(n, c, false);
+
+        // --- w-step: closed-form weights from the current traces. ---
+        sparse_traces_into(laplacians, &st.f, &mut ws.lf, &mut ws.cc, &mut ws.traces);
+        self.weights_from_traces_into(&ws.traces, &mut st.weights);
+        fused.set_weights(&st.weights);
+
+        // --- F-step: matrix-free GPI. Normalized Laplacians satisfy
+        // L ⪯ 2I, so η = 2·Σ_v w_v bounds λ_max of the fused operator. ---
+        let eta = 2.0 * st.weights.iter().sum::<f64>() + 1e-9;
+        effective_indicator(&st.y, scaled, &mut ws.sizes, &mut ws.y_eff);
+        b_matrix_into(&ws.y_eff, &st.r, lambda_eff, &mut ws.b);
+        gpi_stiefel_op_ws(&*fused, eta, &ws.b, &mut st.f, cfg.gpi_max_iter, 1e-10, &mut ws.gpi)?;
+
+        // --- R-step: Procrustes on the row-normalized embedding. ---
+        effective_indicator(&st.y, scaled, &mut ws.sizes, &mut ws.y_eff);
+        row_normalized_into(&st.f, &mut ws.f_tilde);
+        ws.f_tilde.matmul_transpose_a_into(&ws.y_eff, &mut ws.cc);
+        procrustes_into(&ws.cc, &mut ws.svd_r, &mut st.r)?;
+
+        // --- Y-step: exact row-wise argmax discretization. ---
+        st.f.matmul_into(&st.r, &mut ws.fr);
+        discretize_rows_into(&ws.fr, &mut st.labels, &mut ws.counts);
+        if scaled {
+            discretize_scaled_inplace(&ws.fr, &mut st.labels, 30, &mut ws.dsc_sizes, &mut ws.dsc_sums);
+        }
+        labels_to_indicator_into(&st.labels, &mut st.y);
+
+        // --- Bookkeeping on the reported objective. ---
+        sparse_traces_into(laplacians, &st.f, &mut ws.lf, &mut ws.cc, &mut ws.traces);
+        let emb = self.embedding_objective(&ws.traces);
+        effective_indicator(&st.y, scaled, &mut ws.sizes, &mut ws.y_eff);
+        let rot = lambda_eff * frobenius_distance(&ws.fr, &ws.y_eff).powi(2);
+        Ok(StepStats { objective: emb + rot, embedding_term: emb, rotation_term: rot })
     }
 
     fn initial_weights(&self, nviews: usize) -> Vec<f64> {
@@ -245,35 +264,8 @@ fn normalized(w: &[f64]) -> Vec<f64> {
     }
 }
 
-/// Weighted-sum sparse operator for the Lanczos warm start. The per-view
-/// product buffer is owned by the operator (interior mutability, since
-/// [`LinearOperator::apply`] takes `&self`) so repeated applications
-/// allocate nothing.
-struct WeightedSparseOp<'a> {
-    laplacians: &'a [CsrMatrix],
-    weights: &'a [f64],
-    tmp: std::cell::RefCell<Vec<f64>>,
-}
-
-impl LinearOperator for WeightedSparseOp<'_> {
-    fn dim(&self) -> usize {
-        self.laplacians[0].rows()
-    }
-    fn apply(&self, x: &[f64], y: &mut [f64]) {
-        y.fill(0.0);
-        let mut tmp = self.tmp.borrow_mut();
-        tmp.resize(x.len(), 0.0);
-        for (l, &w) in self.laplacians.iter().zip(self.weights.iter()) {
-            l.spmv(x, &mut tmp);
-            for (yi, &t) in y.iter_mut().zip(tmp.iter()) {
-                *yi += w * t;
-            }
-        }
-    }
-}
-
 fn sparse_embedding(laplacians: &[CsrMatrix], weights: &[f64], c: usize, seed: u64) -> Result<Matrix> {
-    let op = WeightedSparseOp { laplacians, weights, tmp: std::cell::RefCell::new(Vec::new()) };
+    let op = sparse_fused_operator(laplacians, weights);
     let cfg = LanczosConfig { seed, initial_subspace: (2 * c + 20).min(op.dim()), ..Default::default() };
     let (_, vecs) = lanczos_smallest(&op, c, &cfg)?;
     Ok(vecs)
@@ -368,5 +360,27 @@ mod tests {
         let res = Umsc::new(UmscConfig::new(1)).fit_laplacians_sparse(&[CsrMatrix::identity(5)]).unwrap();
         assert_eq!(res.labels, vec![0; 5]);
         assert!(res.converged);
+    }
+
+    #[test]
+    fn fused_operator_weights_swap_in_place() {
+        let data = gmm(15, 7);
+        let ls = sparse_laplacians(&data, 6);
+        let mut fused = sparse_fused_operator(&ls, &[0.25, 0.75]);
+        let n = fused.dim();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 13 + 5) as f64).sin()).collect();
+        let mut y = vec![0.0; n];
+        fused.set_weights(&[0.6, 0.4]);
+        fused.apply_into(&x, &mut y);
+        // Reference: per-view spmv accumulated in view order.
+        let mut expect = vec![0.0; n];
+        let mut tmp = vec![0.0; n];
+        for (l, w) in ls.iter().zip([0.6, 0.4]) {
+            l.spmv(&x, &mut tmp);
+            for (e, &t) in expect.iter_mut().zip(tmp.iter()) {
+                *e += w * t;
+            }
+        }
+        assert_eq!(y, expect, "fused operator diverges from per-view reference");
     }
 }

@@ -1,69 +1,31 @@
-//! Counting-allocator proof that the solver hot loop is allocation-free.
+//! Counting-allocator proofs about the solver's memory behavior, on the
+//! shared [`umsc_rt::alloc_track`] instrumentation:
 //!
-//! `Umsc::one_step_solve` routes every intermediate through a
-//! `SolverWorkspace`; once the workspace buffers are warm, an iteration
-//! must not touch the heap at all. This test installs a counting global
-//! allocator, warms the workspace, then asserts that further iterations
-//! perform **zero** allocations — on both the plain-rotation and
-//! scaled-rotation paths.
+//! 1. warm `one_step_solve` sweeps are **allocation-free** (dense path,
+//!    both rotation discretizations);
+//! 2. warm `one_step_solve_sparse` sweeps are allocation-free too — the
+//!    fused [`WeightedSum`] operator included;
+//! 3. the sparse path's **peak live bytes** beat the dense path's by a
+//!    wide margin on a k-NN graph, and in particular never reach one
+//!    `n × n` dense matrix — the memory claim of the matrix-free design.
 //!
-//! The counter is thread-local (const-initialized `Cell`s, so reading them
-//! inside the allocator cannot itself allocate): the libtest harness thread
-//! prints progress lines — lazily allocating its stdout buffer — in
-//! parallel with the test body, and a process-global counter would flake on
-//! that race. Threads are pinned to one (`UMSC_THREADS=1`) because
-//! spawning worker threads allocates stacks — the point here is the
-//! solver's own memory behavior, not the runtime's.
+//! Threads are pinned to one (`UMSC_THREADS=1`) because the counters are
+//! thread-local (see the module docs of `alloc_track` for why) and worker
+//! threads would both allocate stacks and hide their traffic.
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::cell::Cell;
-
-use umsc_core::{build_view_laplacians, Discretization, SolverWorkspace, Umsc, UmscConfig};
+use umsc_core::{
+    build_view_laplacians, build_view_laplacians_sparse, sparse_fused_operator, Discretization,
+    SolverState, SolverWorkspace, Umsc, UmscConfig,
+};
 use umsc_data::synth::{MultiViewGmm, ViewSpec};
-
-struct CountingAlloc;
-
-thread_local! {
-    static ARMED: Cell<bool> = const { Cell::new(false) };
-    static ALLOCS: Cell<u64> = const { Cell::new(0) };
-}
-
-fn record() {
-    // try_with: never panic inside the allocator (e.g. during TLS teardown).
-    let _ = ARMED.try_with(|armed| {
-        if armed.get() {
-            let _ = ALLOCS.try_with(|n| n.set(n.get() + 1));
-        }
-    });
-}
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        record();
-        System.alloc(layout)
-    }
-    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        record();
-        System.alloc_zeroed(layout)
-    }
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        record();
-        System.realloc(ptr, layout, new_size)
-    }
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
-    }
-}
+use umsc_linalg::Matrix;
+use umsc_rt::alloc_track::{measure, CountingAlloc};
 
 #[global_allocator]
 static ALLOCATOR: CountingAlloc = CountingAlloc;
 
-fn allocations_during(f: impl FnOnce()) -> u64 {
-    ALLOCS.with(|n| n.set(0));
-    ARMED.with(|armed| armed.set(true));
-    f();
-    ARMED.with(|armed| armed.set(false));
-    ALLOCS.with(|n| n.get())
+fn gmm(per: usize, seed: u64) -> umsc_data::MultiViewDataset {
+    MultiViewGmm::new("alloc", 3, per, vec![ViewSpec::clean(5), ViewSpec::clean(6)]).generate(seed)
 }
 
 #[test]
@@ -72,9 +34,7 @@ fn one_step_solve_is_allocation_free_once_warm() {
     // gates would engage threads on larger inputs.
     std::env::set_var("UMSC_THREADS", "1");
 
-    let data = MultiViewGmm::new("alloc", 3, 20, vec![ViewSpec::clean(5), ViewSpec::clean(6)])
-        .generate(7);
-
+    let data = gmm(20, 7);
     for discretization in [Discretization::Rotation, Discretization::ScaledRotation] {
         let cfg = UmscConfig::new(3).with_discretization(discretization.clone());
         let model = Umsc::new(cfg);
@@ -88,14 +48,84 @@ fn one_step_solve_is_allocation_free_once_warm() {
             model.one_step_solve(&laplacians, &mut st, &mut ws).unwrap();
         }
 
-        let count = allocations_during(|| {
+        let stats = measure(|| {
             for _ in 0..3 {
                 model.one_step_solve(&laplacians, &mut st, &mut ws).unwrap();
             }
         });
         assert_eq!(
-            count, 0,
-            "{discretization:?}: warm one_step_solve touched the heap {count} times"
+            stats.allocations, 0,
+            "{discretization:?}: warm one_step_solve touched the heap {} times",
+            stats.allocations
         );
     }
+}
+
+#[test]
+fn one_step_solve_sparse_is_allocation_free_once_warm() {
+    std::env::set_var("UMSC_THREADS", "1");
+
+    let data = gmm(20, 8);
+    let model = Umsc::new(UmscConfig::new(3));
+    let laplacians = build_view_laplacians_sparse(&data, &model.config().graph_config()).unwrap();
+
+    // Seed the solver state from one full sparse fit — the state layout is
+    // exactly what the sweep advances.
+    let res = model.fit_laplacians_sparse(&laplacians).unwrap();
+    let mut st = SolverState {
+        f: res.embedding,
+        r: res.rotation,
+        y: res.indicator,
+        labels: res.labels,
+        weights: res.view_weights,
+    };
+    let mut fused = sparse_fused_operator(&laplacians, &st.weights);
+    let mut ws = SolverWorkspace::new();
+    for _ in 0..2 {
+        model.one_step_solve_sparse(&laplacians, &mut fused, &mut st, &mut ws).unwrap();
+    }
+
+    let stats = measure(|| {
+        for _ in 0..3 {
+            model.one_step_solve_sparse(&laplacians, &mut fused, &mut st, &mut ws).unwrap();
+        }
+    });
+    assert_eq!(
+        stats.allocations, 0,
+        "warm one_step_solve_sparse touched the heap {} times",
+        stats.allocations
+    );
+}
+
+#[test]
+fn sparse_path_peak_memory_beats_dense_by_4x() {
+    std::env::set_var("UMSC_THREADS", "1");
+
+    // Big enough that one n × n matrix dwarfs every n × c intermediate.
+    let data = gmm(80, 9);
+    let n = data.n();
+    let model = Umsc::new(UmscConfig::new(3));
+    let sparse_ls = build_view_laplacians_sparse(&data, &model.config().graph_config()).unwrap();
+    let dense_ls: Vec<Matrix> = sparse_ls.iter().map(|l| l.to_dense()).collect();
+
+    let mut dense_res = None;
+    let dense_peak = measure(|| dense_res = Some(model.fit_laplacians(&dense_ls))).peak_bytes;
+    let mut sparse_res = None;
+    let sparse_peak =
+        measure(|| sparse_res = Some(model.fit_laplacians_sparse(&sparse_ls))).peak_bytes;
+    dense_res.unwrap().unwrap();
+    sparse_res.unwrap().unwrap();
+
+    // The all-CSR solve must never materialize an n × n dense matrix …
+    let dense_matrix_bytes = (n * n * std::mem::size_of::<f64>()) as u64;
+    assert!(
+        sparse_peak < dense_matrix_bytes,
+        "sparse solve peaked at {sparse_peak} B ≥ one {n}x{n} matrix ({dense_matrix_bytes} B)"
+    );
+    // … and its high-water mark must sit far below the dense path's.
+    assert!(
+        dense_peak > 4 * sparse_peak,
+        "dense/sparse peak ratio {:.2} ≤ 4 ({dense_peak} B vs {sparse_peak} B)",
+        dense_peak as f64 / sparse_peak as f64
+    );
 }

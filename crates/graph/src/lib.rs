@@ -4,8 +4,8 @@
 //! spectral clustering method in this workspace stands on.
 //!
 //! * [`CsrMatrix`] — compressed sparse row matrix with `spmv`, dense
-//!   bridging, and a [`umsc_linalg::LinearOperator`] impl so Lanczos can run
-//!   on sparse Laplacians directly.
+//!   bridging, and a [`umsc_op::LinOp`] impl (see `CsrMatrix::as_op`) so
+//!   Lanczos and the matrix-free GPI run on sparse Laplacians directly.
 //! * [`distance`] — pairwise squared-Euclidean / cosine distance matrices.
 //! * [`affinity`] — Gaussian (RBF) affinities with global or self-tuning
 //!   (Zelnik-Manor & Perona) bandwidths, dense or k-NN–sparsified.

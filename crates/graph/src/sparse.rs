@@ -3,10 +3,11 @@
 //! Just enough sparse linear algebra for spectral graph work: construction
 //! from triplets or dense, `spmv`, row iteration, transpose, symmetrization,
 //! and diagonal scaling (for normalized Laplacians). Implements
-//! [`LinearOperator`] so the Lanczos solver in `umsc-linalg` runs on sparse
-//! Laplacians without densifying.
+//! [`LinOp`] (via [`CsrMatrix::as_op`]) so the Lanczos solver and the
+//! matrix-free GPI iteration run on sparse Laplacians without densifying.
 
-use umsc_linalg::{LinearOperator, Matrix};
+use umsc_linalg::Matrix;
+use umsc_op::{CsrOp, LinOp};
 
 /// Compressed sparse row matrix of `f64`.
 #[derive(Debug, Clone, PartialEq)]
@@ -189,6 +190,19 @@ impl CsrMatrix {
         });
     }
 
+    /// Borrowed operator-layer view of this matrix (must be square).
+    ///
+    /// The returned [`CsrOp`] shares this matrix's storage and mirrors
+    /// [`CsrMatrix::spmv`] / [`CsrMatrix::matmul_dense_into`] kernel for
+    /// kernel, so its applies are bitwise-identical to those paths.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn as_op(&self) -> CsrOp<'_> {
+        assert_eq!(self.rows, self.cols, "CsrMatrix::as_op: operator must be square");
+        CsrOp::new(self.rows, &self.row_ptr, &self.col_idx, &self.values)
+    }
+
     /// Dense product `A · B` with a dense right factor (`rows × B.cols()`).
     ///
     /// Threaded over output rows past the work-size gate; per-row
@@ -322,13 +336,16 @@ impl CsrMatrix {
     }
 }
 
-impl LinearOperator for CsrMatrix {
+impl LinOp for CsrMatrix {
     fn dim(&self) -> usize {
         debug_assert_eq!(self.rows, self.cols);
         self.rows
     }
-    fn apply(&self, x: &[f64], y: &mut [f64]) {
-        self.spmv(x, y);
+    fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+        self.as_op().apply_into(x, y);
+    }
+    fn apply_block_into(&self, x: &[f64], ncols: usize, y: &mut [f64]) {
+        self.as_op().apply_block_into(x, ncols, y);
     }
 }
 
@@ -522,5 +539,24 @@ mod tests {
         assert_eq!(out.as_slice(), seq.as_slice());
         // Zero-width right factor.
         assert_eq!(m.matmul_dense_with_threads(4, &Matrix::zeros(41, 0)).shape(), (67, 0));
+    }
+
+    #[test]
+    fn operator_view_is_bitwise_identical_to_csr_kernels() {
+        let m = random_sparse(53, 53, 17).symmetrize();
+        let mut rng = umsc_rt::Rng::from_seed(18);
+        let x: Vec<f64> = (0..53).map(|_| rng.normal()).collect();
+        let b = Matrix::from_fn(53, 5, |_, _| rng.normal());
+
+        let mut spmv = vec![0.0; 53];
+        m.spmv(&x, &mut spmv);
+        let mut via_op = vec![f64::NAN; 53];
+        m.apply_into(&x, &mut via_op);
+        assert_eq!(spmv, via_op);
+
+        let dense_prod = m.matmul_dense(&b);
+        let mut block = vec![f64::NAN; 53 * 5];
+        m.as_op().apply_block_into(b.as_slice(), 5, &mut block);
+        assert_eq!(dense_prod.as_slice(), block.as_slice());
     }
 }

@@ -4,11 +4,16 @@
 //! Dense eigendecomposition is O(n³); spectral clustering only needs the
 //! `c` smallest eigenvectors of a (sparse) graph Laplacian. [`lanczos_smallest`]
 //! builds a Krylov basis with **full reorthogonalization** (robust, simple,
-//! O(n·m²) for subspace size `m`) against any [`LinearOperator`], solves the
+//! O(n·m²) for subspace size `m`) against any [`LinOp`], solves the
 //! small tridiagonal eigenproblem with the same QL sweep as the dense path,
 //! and expands the subspace until the wanted Ritz pairs converge. When the
 //! subspace reaches `n` the method is exact, so it cannot fail to converge —
 //! it can only get slow — which keeps the API total.
+//!
+//! The operator abstraction itself lives in `umsc-op` (the former
+//! `LinearOperator` trait promoted out of this module); this crate
+//! provides the [`Matrix`] implementation so dense operators drop in
+//! anywhere a `&dyn LinOp` is expected.
 //!
 //! Breakdown (an invariant subspace, e.g. a disconnected graph) is handled
 //! by restarting with a fresh vector orthogonal to the basis so far.
@@ -17,22 +22,26 @@ use crate::eigen::tql2;
 use crate::matrix::Matrix;
 use crate::ops::{axpy, dot, normalize};
 use crate::Result;
+use umsc_op::{DenseOp, LinOp};
 
-/// Matrix-free symmetric linear operator `y = A·x`.
-pub trait LinearOperator {
-    /// Dimension `n` of the (square) operator.
-    fn dim(&self) -> usize;
-    /// Computes `y = A·x`. `y` is zero-initialized by the caller.
-    fn apply(&self, x: &[f64], y: &mut [f64]);
-}
-
-impl LinearOperator for Matrix {
+impl LinOp for Matrix {
     fn dim(&self) -> usize {
         debug_assert!(self.is_square());
         self.rows()
     }
-    fn apply(&self, x: &[f64], y: &mut [f64]) {
-        self.matvec_into(x, y);
+
+    /// Same values as [`Matrix::matvec_into`] (identical per-row dot
+    /// products), threaded past the shared flop gate.
+    fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+        debug_assert!(self.is_square());
+        DenseOp::new(self.rows(), self.as_slice()).apply_into(x, y);
+    }
+
+    /// Bitwise-identical to [`Matrix::matmul_into`] on an `n × k` right
+    /// factor: the row kernel the GEMM dispatch reduces to.
+    fn apply_block_into(&self, x: &[f64], ncols: usize, y: &mut [f64]) {
+        debug_assert!(self.is_square());
+        DenseOp::new(self.rows(), self.as_slice()).apply_block_into(x, ncols, y);
     }
 }
 
@@ -61,7 +70,7 @@ impl Default for LanczosConfig {
 ///
 /// # Panics
 /// Panics if `k > n` or `k == 0`.
-pub fn lanczos_smallest(op: &dyn LinearOperator, k: usize, cfg: &LanczosConfig) -> Result<(Vec<f64>, Matrix)> {
+pub fn lanczos_smallest(op: &dyn LinOp, k: usize, cfg: &LanczosConfig) -> Result<(Vec<f64>, Matrix)> {
     let n = op.dim();
     assert!(k >= 1, "lanczos_smallest: k must be >= 1");
     assert!(k <= n, "lanczos_smallest: requested {k} eigenpairs of a {n}-dim operator");
@@ -78,10 +87,9 @@ pub fn lanczos_smallest(op: &dyn LinearOperator, k: usize, cfg: &LanczosConfig) 
     let mut work = vec![0.0; n];
 
     loop {
-        // One Lanczos expansion step.
+        // One Lanczos expansion step. `apply_into` overwrites `work`.
         let j = basis.len() - 1;
-        work.iter_mut().for_each(|v| *v = 0.0);
-        op.apply(&basis[j], &mut work);
+        op.apply_into(&basis[j], &mut work);
         let a_j = dot(&basis[j], &work);
         alpha.push(a_j);
         // w ← A q_j − α_j q_j − β_{j-1} q_{j-1}, then full reorthogonalization.

@@ -47,9 +47,13 @@ pub use eigen::SymEigen;
 pub use generalized::{generalized_eigen, GeneralizedEigen};
 pub use error::LinalgError;
 pub use jacobi::jacobi_eigen;
-pub use lanczos::{lanczos_smallest, LanczosConfig, LinearOperator};
+pub use lanczos::{lanczos_smallest, LanczosConfig};
+// The operator trait moved down the stack into `umsc-op`; re-export it
+// (and its historical name) so downstream code keeps one import path.
+pub use umsc_op::LinOp;
+pub use umsc_op::LinOp as LinearOperator;
 pub use lu::{lu_solve, Lu};
-pub use matrix::Matrix;
+pub use matrix::{parse_tile_spec, Matrix};
 pub use procrustes::{polar_orthogonalize, polar_orthogonalize_into, procrustes, procrustes_into};
 pub use qr::{qr, QrDecomposition};
 pub use svd::{Svd, SvdScratch};

@@ -264,6 +264,21 @@ impl Matrix {
     /// cache locality it buys; narrower products use the plain row kernel.
     const GEMM_MIN_BLOCK_COLS: usize = 32;
 
+    /// Tile geometry used by the implicit blocked-GEMM entry points:
+    /// the `UMSC_GEMM_TILES` environment variable (a [`parse_tile_spec`]
+    /// string like `32x64`, read once per process) or the built-in
+    /// defaults. Tile choice never changes results — only which cache
+    /// level each packed panel streams through.
+    pub fn gemm_tiles() -> (usize, usize) {
+        static GEMM_TILES: std::sync::OnceLock<(usize, usize)> = std::sync::OnceLock::new();
+        *GEMM_TILES.get_or_init(|| {
+            std::env::var("UMSC_GEMM_TILES")
+                .ok()
+                .and_then(|v| parse_tile_spec(&v))
+                .unwrap_or((Self::GEMM_TILE_I, Self::GEMM_TILE_J))
+        })
+    }
+
     /// Matrix product `self · other`.
     ///
     /// Large products run on up to `umsc_rt::par::max_threads()` threads
@@ -354,7 +369,8 @@ impl Matrix {
             out.rows, out.cols, self.rows, other.cols
         );
         if threads > 1 && other.cols >= Self::GEMM_MIN_BLOCK_COLS {
-            self.matmul_blocked(threads, Self::GEMM_TILE_I, Self::GEMM_TILE_J, other, out);
+            let (tile_i, tile_j) = Self::gemm_tiles();
+            self.matmul_blocked(threads, tile_i, tile_j, other, out);
         } else {
             self.matmul_rowwise(threads, other, out);
         }
@@ -913,6 +929,21 @@ impl Neg for &Matrix {
     }
 }
 
+/// Parses a blocked-GEMM tile spec of the form `MRxNC` (row-tile ×
+/// column-tile, e.g. `32x64`; the separator is `x` or `X`, surrounding
+/// whitespace is ignored). Returns `None` unless both sides are positive
+/// integers. This is the format of the `UMSC_GEMM_TILES` environment
+/// variable — see [`Matrix::gemm_tiles`].
+pub fn parse_tile_spec(spec: &str) -> Option<(usize, usize)> {
+    let (i, j) = spec.trim().split_once(['x', 'X'])?;
+    let tile_i = i.trim().parse::<usize>().ok()?;
+    let tile_j = j.trim().parse::<usize>().ok()?;
+    if tile_i == 0 || tile_j == 0 {
+        return None;
+    }
+    Some((tile_i, tile_j))
+}
+
 impl fmt::Debug for Matrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
@@ -1204,6 +1235,27 @@ mod tests {
                 );
             }
         }
+        // Whatever geometry UMSC_GEMM_TILES resolved to for this process,
+        // the implicit path agrees with the naive kernel bitwise.
+        let (ti, tj) = Matrix::gemm_tiles();
+        assert_eq!(
+            a.matmul_tiled_with(3, ti, tj, &b).as_slice(),
+            reference.as_slice(),
+            "env-selected tile {ti}x{tj} diverges"
+        );
+    }
+
+    #[test]
+    fn tile_spec_parsing() {
+        assert_eq!(parse_tile_spec("32x64"), Some((32, 64)));
+        assert_eq!(parse_tile_spec(" 8 X 16 "), Some((8, 16)));
+        assert_eq!(parse_tile_spec("1x1"), Some((1, 1)));
+        for bad in ["", "x", "32", "32x", "x64", "0x64", "32x0", "-4x8", "axb", "32x64x128"] {
+            assert_eq!(parse_tile_spec(bad), None, "accepted {bad:?}");
+        }
+        // Tile geometry is positive whichever way it was chosen.
+        let (ti, tj) = Matrix::gemm_tiles();
+        assert!(ti >= 1 && tj >= 1);
     }
 
     #[test]

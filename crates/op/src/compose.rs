@@ -1,0 +1,304 @@
+//! Composite operator nodes: scaling, diagonal shift, weighted sums.
+
+use crate::{map_indexed_gated, new_scratch, LinOp, Scratch};
+
+/// `α · A` for an inner operator `A`.
+///
+/// The inner apply runs first (with its own gate and scratch); the
+/// elementwise scale is order-independent per element, so the result is
+/// bitwise-identical for any thread count.
+#[derive(Debug)]
+pub struct Scaled<T> {
+    alpha: f64,
+    inner: T,
+}
+
+impl<T: LinOp> Scaled<T> {
+    pub fn new(alpha: f64, inner: T) -> Self {
+        Scaled { alpha, inner }
+    }
+}
+
+impl<T: LinOp> LinOp for Scaled<T> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+        self.inner.apply_into(x, y);
+        let alpha = self.alpha;
+        map_indexed_gated(y.len(), y, |_, v| *v *= alpha);
+    }
+
+    fn apply_block_into(&self, x: &[f64], ncols: usize, y: &mut [f64]) {
+        self.inner.apply_block_into(x, ncols, y);
+        let alpha = self.alpha;
+        map_indexed_gated(y.len(), y, |_, v| *v *= alpha);
+    }
+}
+
+/// `σI − A`: the spectral-shift node the GPI F-step and the anchor
+/// embedding both need (turn a Laplacian into the positive-definite
+/// operator `ηI − Σ_v w_v L_v` whose *top* eigenvectors are the
+/// Laplacian's bottom ones).
+///
+/// No scratch: the inner result lands in `y`, then each element is
+/// replaced by `σ·x[i] − y[i]` — order-independent per element, hence
+/// bitwise-identical for any thread count.
+#[derive(Debug)]
+pub struct DiagShift<T> {
+    sigma: f64,
+    inner: T,
+}
+
+impl<T: LinOp> DiagShift<T> {
+    pub fn new(sigma: f64, inner: T) -> Self {
+        DiagShift { sigma, inner }
+    }
+
+    /// The shift `σ`.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Replaces the shift (e.g. when solver weights change between
+    /// outer iterations).
+    pub fn set_sigma(&mut self, sigma: f64) {
+        self.sigma = sigma;
+    }
+
+    /// The wrapped operator.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped operator (weight updates).
+    pub fn inner_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: LinOp> LinOp for DiagShift<T> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+        self.inner.apply_into(x, y);
+        let sigma = self.sigma;
+        map_indexed_gated(y.len(), y, |i, v| *v = sigma * x[i] - *v);
+    }
+
+    fn apply_block_into(&self, x: &[f64], ncols: usize, y: &mut [f64]) {
+        self.inner.apply_block_into(x, ncols, y);
+        let sigma = self.sigma;
+        map_indexed_gated(y.len(), y, |i, v| *v = sigma * x[i] - *v);
+    }
+}
+
+/// `Σ_v w_v · A_v`: the fused multi-view operator.
+///
+/// This subsumes the solver's old private `WeightedSparseOp`: each view
+/// applies into an internal scratch panel (reused across calls), then
+/// accumulates into `y` in view order — `y` starts from an exact `0.0`
+/// and views are added sequentially, so the accumulation order is fixed
+/// regardless of thread count and matches the sequential reference
+/// bitwise. The node owns its views; build it once outside the solver
+/// loop and update the weights in place with
+/// [`set_weights`](WeightedSum::set_weights) to stay allocation-free.
+#[derive(Debug)]
+pub struct WeightedSum<T> {
+    ops: Vec<T>,
+    weights: Vec<f64>,
+    scratch: Scratch,
+}
+
+impl<T: LinOp> WeightedSum<T> {
+    /// Uniform unit weights; the operator is then plain `Σ_v A_v`.
+    ///
+    /// # Panics
+    /// Panics if `ops` is empty or the views disagree on dimension.
+    pub fn new(ops: Vec<T>) -> Self {
+        let weights = vec![1.0; ops.len()];
+        Self::with_weights(ops, &weights)
+    }
+
+    /// Weighted sum `Σ_v w_v A_v`.
+    ///
+    /// # Panics
+    /// Panics if `ops` is empty, `weights.len() != ops.len()`, or the
+    /// views disagree on dimension.
+    pub fn with_weights(ops: Vec<T>, weights: &[f64]) -> Self {
+        assert!(!ops.is_empty(), "WeightedSum: at least one view required");
+        let n = ops[0].dim();
+        assert!(ops.iter().all(|op| op.dim() == n), "WeightedSum: dimension mismatch across views");
+        assert_eq!(weights.len(), ops.len(), "WeightedSum: weights length mismatch");
+        WeightedSum { ops, weights: weights.to_vec(), scratch: new_scratch() }
+    }
+
+    /// Replaces the per-view weights in place (no allocation).
+    ///
+    /// # Panics
+    /// Panics if `weights.len() != ops.len()`.
+    pub fn set_weights(&mut self, weights: &[f64]) {
+        assert_eq!(weights.len(), self.ops.len(), "WeightedSum: weights length mismatch");
+        self.weights.copy_from_slice(weights);
+    }
+
+    /// Current per-view weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The per-view operators.
+    pub fn ops(&self) -> &[T] {
+        &self.ops
+    }
+
+    /// Shared accumulation: `tmp = A_v·X` per view, then `y += w_v·tmp`.
+    fn accumulate(&self, x: &[f64], len: usize, y: &mut [f64], block: Option<usize>) {
+        y.fill(0.0);
+        let mut scratch = self.scratch.borrow_mut();
+        let tmp = scratch.ensure(len);
+        for (op, &w) in self.ops.iter().zip(self.weights.iter()) {
+            match block {
+                Some(ncols) => op.apply_block_into(x, ncols, tmp),
+                None => op.apply_into(x, tmp),
+            }
+            let t: &[f64] = tmp;
+            map_indexed_gated(len, y, |i, v| *v += w * t[i]);
+        }
+    }
+}
+
+impl<T: LinOp> LinOp for WeightedSum<T> {
+    fn dim(&self) -> usize {
+        self.ops[0].dim()
+    }
+
+    fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+        let n = self.dim();
+        assert_eq!(x.len(), n, "WeightedSum::apply_into: x length mismatch");
+        assert_eq!(y.len(), n, "WeightedSum::apply_into: y length mismatch");
+        self.accumulate(x, n, y, None);
+    }
+
+    fn apply_block_into(&self, x: &[f64], ncols: usize, y: &mut [f64]) {
+        let n = self.dim();
+        assert_eq!(x.len(), n * ncols, "WeightedSum::apply_block_into: x length mismatch");
+        assert_eq!(y.len(), n * ncols, "WeightedSum::apply_block_into: y length mismatch");
+        if ncols == 0 {
+            return;
+        }
+        self.accumulate(x, n * ncols, y, Some(ncols));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DenseOp;
+    use umsc_rt::Rng;
+
+    fn random(len: usize, seed: u64) -> Vec<f64> {
+        let mut rng = Rng::from_seed(seed);
+        (0..len).map(|_| rng.gen_range_f64(-1.0, 1.0)).collect()
+    }
+
+    #[test]
+    fn scaled_matches_manual() {
+        let n = 9;
+        let a = random(n * n, 3);
+        let x = random(n, 4);
+        let op = Scaled::new(-2.5, DenseOp::new(n, &a));
+
+        let mut expect = vec![0.0; n];
+        DenseOp::new(n, &a).apply_into(&x, &mut expect);
+        for v in &mut expect {
+            *v *= -2.5;
+        }
+        let mut y = vec![f64::NAN; n];
+        op.apply_into(&x, &mut y);
+        assert_eq!(y, expect);
+    }
+
+    #[test]
+    fn diag_shift_matches_manual() {
+        let n = 8;
+        let k = 3;
+        let a = random(n * n, 5);
+        let x = random(n * k, 6);
+        let op = DiagShift::new(1.75, DenseOp::new(n, &a));
+        assert_eq!(op.sigma(), 1.75);
+
+        let mut expect = vec![0.0; n * k];
+        DenseOp::new(n, &a).apply_block_into(&x, k, &mut expect);
+        for (i, v) in expect.iter_mut().enumerate() {
+            *v = 1.75 * x[i] - *v;
+        }
+        let mut y = vec![f64::NAN; n * k];
+        op.apply_block_into(&x, k, &mut y);
+        assert_eq!(y, expect);
+    }
+
+    #[test]
+    fn weighted_sum_matches_sequential_reference() {
+        let n = 11;
+        let k = 2;
+        let views: Vec<Vec<f64>> = (0..3).map(|v| random(n * n, 50 + v)).collect();
+        let weights = [0.2, 1.4, 0.7];
+        let ops: Vec<DenseOp<'_>> = views.iter().map(|d| DenseOp::new(n, d)).collect();
+        let wsum = WeightedSum::with_weights(ops, &weights);
+
+        let x = random(n * k, 77);
+        // Sequential reference: same view order, same per-element order.
+        let mut expect = vec![0.0; n * k];
+        let mut tmp = vec![0.0; n * k];
+        for (d, &w) in views.iter().zip(weights.iter()) {
+            DenseOp::new(n, d).apply_block_into_with(1, &x, k, &mut tmp);
+            for (e, &t) in expect.iter_mut().zip(tmp.iter()) {
+                *e += w * t;
+            }
+        }
+        let mut y = vec![f64::NAN; n * k];
+        wsum.apply_block_into(&x, k, &mut y);
+        assert_eq!(y, expect);
+
+        // Vector apply against the same reference restricted to k=1.
+        let xv = random(n, 78);
+        let mut expect_v = vec![0.0; n];
+        let mut tmp_v = vec![0.0; n];
+        for (d, &w) in views.iter().zip(weights.iter()) {
+            DenseOp::new(n, d).apply_into_with(1, &xv, &mut tmp_v);
+            for (e, &t) in expect_v.iter_mut().zip(tmp_v.iter()) {
+                *e += w * t;
+            }
+        }
+        let mut yv = vec![f64::NAN; n];
+        wsum.apply_into(&xv, &mut yv);
+        assert_eq!(yv, expect_v);
+    }
+
+    #[test]
+    fn set_weights_updates_result() {
+        let n = 6;
+        let a = random(n * n, 9);
+        let mut wsum = WeightedSum::new(vec![DenseOp::new(n, &a)]);
+        let x = random(n, 10);
+        let mut y0 = vec![0.0; n];
+        wsum.apply_into(&x, &mut y0);
+        wsum.set_weights(&[2.0]);
+        assert_eq!(wsum.weights(), &[2.0]);
+        let mut y1 = vec![0.0; n];
+        wsum.apply_into(&x, &mut y1);
+        for (a0, a1) in y0.iter().zip(y1.iter()) {
+            assert_eq!(2.0 * a0, *a1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one view")]
+    fn empty_weighted_sum_panics() {
+        WeightedSum::<DenseOp<'static>>::new(Vec::new());
+    }
+}

@@ -1,0 +1,168 @@
+//! Dense operator node: a borrowed row-major `n × n` matrix.
+
+use crate::{gate_threads, LinOp};
+
+/// A dense symmetric operator over a borrowed row-major `n × n` slice.
+///
+/// The kernels mirror the dense `Matrix` paths exactly — one output
+/// row per work unit, per-element accumulation in ascending index order
+/// from an exact `0.0`, zero-skip on the left factor — so applies are
+/// bitwise-identical to `Matrix::matvec_into` / `Matrix::matmul_into`
+/// for any thread count. No scratch is needed: applies write straight
+/// into the caller's buffers.
+#[derive(Clone, Copy, Debug)]
+pub struct DenseOp<'a> {
+    n: usize,
+    data: &'a [f64],
+}
+
+impl<'a> DenseOp<'a> {
+    /// Wraps a row-major `n × n` slice.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != n * n`.
+    pub fn new(n: usize, data: &'a [f64]) -> Self {
+        assert_eq!(data.len(), n * n, "DenseOp::new: data is not n x n");
+        DenseOp { n, data }
+    }
+
+    /// [`LinOp::apply_into`] with an explicit thread count (`threads <= 1`
+    /// runs inline; no work-size gate). Exposed for the bitwise-identity
+    /// tests; results are identical for every `threads`.
+    pub fn apply_into_with(&self, threads: usize, x: &[f64], y: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(x.len(), n, "DenseOp::apply_into: x length mismatch");
+        assert_eq!(y.len(), n, "DenseOp::apply_into: y length mismatch");
+        if n == 0 {
+            return;
+        }
+        let rows_per = n.div_ceil(threads.max(1));
+        umsc_rt::par::parallel_chunks_mut_with(threads, y, rows_per, |ci, ychunk| {
+            let base = ci * rows_per;
+            for (off, out) in ychunk.iter_mut().enumerate() {
+                let row = &self.data[(base + off) * n..(base + off + 1) * n];
+                *out = row.iter().zip(x.iter()).map(|(&a, &b)| a * b).sum();
+            }
+        });
+    }
+
+    /// [`LinOp::apply_block_into`] with an explicit thread count. One
+    /// output row per work unit, accumulated left-to-right with the same
+    /// zero-skip as the dense row-kernel GEMM — bitwise-identical to
+    /// `Matrix::matmul_into` for any `threads`.
+    pub fn apply_block_into_with(&self, threads: usize, x: &[f64], ncols: usize, y: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(x.len(), n * ncols, "DenseOp::apply_block_into: x length mismatch");
+        assert_eq!(y.len(), n * ncols, "DenseOp::apply_block_into: y length mismatch");
+        if n == 0 || ncols == 0 {
+            return;
+        }
+        umsc_rt::par::parallel_chunks_mut_with(threads, y, ncols, |i, yrow| {
+            yrow.fill(0.0);
+            let arow = &self.data[i * n..(i + 1) * n];
+            for (p, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let xrow = &x[p * ncols..(p + 1) * ncols];
+                for (o, &b) in yrow.iter_mut().zip(xrow.iter()) {
+                    *o += a * b;
+                }
+            }
+        });
+    }
+}
+
+impl LinOp for DenseOp<'_> {
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+        let flops = 2 * self.n * self.n;
+        self.apply_into_with(gate_threads(flops), x, y);
+    }
+
+    fn apply_block_into(&self, x: &[f64], ncols: usize, y: &mut [f64]) {
+        let flops = 2 * self.n * self.n * ncols;
+        self.apply_block_into_with(gate_threads(flops), x, ncols, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umsc_rt::Rng;
+
+    fn random(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = Rng::from_seed(seed);
+        (0..n).map(|_| rng.gen_range_f64(-2.0, 2.0)).collect()
+    }
+
+    /// Sequential reference: plain ascending-index dot products.
+    fn naive_apply(n: usize, a: &[f64], x: &[f64], k: usize) -> Vec<f64> {
+        let mut y = vec![0.0; n * k];
+        for i in 0..n {
+            for j in 0..k {
+                let mut acc = 0.0;
+                for p in 0..n {
+                    acc += a[i * n + p] * x[p * k + j];
+                }
+                y[i * k + j] = acc;
+            }
+        }
+        y
+    }
+
+    #[test]
+    fn apply_matches_naive_and_is_thread_invariant() {
+        for n in [1, 3, 17, 64] {
+            let a = random(n * n, 1 + n as u64);
+            let x = random(n, 100 + n as u64);
+            let op = DenseOp::new(n, &a);
+
+            let mut reference = vec![f64::NAN; n];
+            op.apply_into_with(1, &x, &mut reference);
+            // Vector apply accumulates without zero-skip: compare to dots.
+            let naive: Vec<f64> = (0..n)
+                .map(|i| a[i * n..(i + 1) * n].iter().zip(&x).map(|(&p, &q)| p * q).sum())
+                .collect();
+            assert_eq!(reference, naive);
+
+            for threads in [2, 3, 8] {
+                let mut y = vec![f64::NAN; n];
+                op.apply_into_with(threads, &x, &mut y);
+                assert_eq!(y, reference, "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_apply_matches_naive_and_is_thread_invariant() {
+        for (n, k) in [(1, 1), (5, 3), (33, 4), (64, 7)] {
+            let mut a = random(n * n, 7 + n as u64);
+            // Plant exact zeros to exercise the zero-skip path.
+            for v in a.iter_mut().step_by(5) {
+                *v = 0.0;
+            }
+            let x = random(n * k, 300 + n as u64);
+            let op = DenseOp::new(n, &a);
+
+            let mut reference = vec![f64::NAN; n * k];
+            op.apply_block_into_with(1, &x, k, &mut reference);
+            assert_eq!(reference, naive_apply(n, &a, &x, k));
+
+            for threads in [2, 4, 9] {
+                let mut y = vec![f64::NAN; n * k];
+                op.apply_block_into_with(threads, &x, k, &mut y);
+                assert_eq!(y, reference, "n={n} k={k} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not n x n")]
+    fn wrong_shape_panics() {
+        DenseOp::new(3, &[0.0; 8]);
+    }
+}

@@ -1,0 +1,209 @@
+//! Matrix-free linear operators — the common currency between the
+//! linalg, graph, and solver layers.
+//!
+//! The one-stage solver and both eigensolvers only ever need the fused
+//! Laplacian through its action `x ↦ A·x`; nothing downstream requires
+//! the `n × n` entries themselves. This crate makes that observation a
+//! first-class abstraction: [`LinOp`] is the action, and the operator
+//! *nodes* ([`DenseOp`], [`CsrOp`], [`Scaled`], [`DiagShift`],
+//! [`WeightedSum`], [`LowRankAnchor`]) compose into exactly the
+//! expressions the paper's solver evaluates — `Σ_v w_v L_v` for the
+//! fused graph, `σI − Σ_v w_v B_v B_vᵀ` for the anchor path — without
+//! ever materializing an `n × n` matrix.
+//!
+//! # Kernel discipline
+//!
+//! Every node follows the same three rules as the in-tree GEMM/spmv
+//! kernels:
+//!
+//! * **Parallel past a work-size gate.** Applies thread via
+//!   [`umsc_rt::par`] once the estimated flop count reaches
+//!   [`PAR_FLOP_THRESHOLD`]; below it they run inline so small problems
+//!   never pay thread-spawn latency.
+//! * **Bitwise identity.** Work is partitioned so that every output
+//!   element is accumulated in the same order (ascending index, from an
+//!   exact `0.0`) regardless of thread count. Parallel results are
+//!   bitwise-identical to the sequential reference — asserted by the
+//!   crate's tests for every node.
+//! * **Allocation-free once warm.** Nodes that need scratch own a
+//!   grow-only [`umsc_rt::par::PanelBuf`] behind a `RefCell` (applies
+//!   take `&self`); after the first apply at a given shape, repeated
+//!   applies never touch the heap. Verified by the counting-allocator
+//!   test in `tests/alloc_free.rs`.
+
+use std::cell::RefCell;
+
+use umsc_rt::par::PanelBuf;
+
+mod compose;
+mod dense;
+mod lowrank;
+mod sparse;
+
+pub use compose::{DiagShift, Scaled, WeightedSum};
+pub use dense::DenseOp;
+pub use lowrank::LowRankAnchor;
+pub use sparse::CsrOp;
+
+/// Minimum estimated flop count before an apply engages worker threads
+/// (the same gate as the dense and CSR kernels it mirrors).
+pub const PAR_FLOP_THRESHOLD: usize = 1 << 18;
+
+/// Thread count for a job of `flops` floating-point operations: all
+/// available threads past the gate, inline below it.
+pub(crate) fn gate_threads(flops: usize) -> usize {
+    if flops >= PAR_FLOP_THRESHOLD {
+        umsc_rt::par::max_threads()
+    } else {
+        1
+    }
+}
+
+/// Elementwise map over `y` (with the element's index), threaded past
+/// the flop gate. Every element is computed independently, so the result
+/// is bitwise-identical for any thread count.
+pub(crate) fn map_indexed_gated(flops: usize, y: &mut [f64], f: impl Fn(usize, &mut f64) + Sync) {
+    if y.is_empty() {
+        return;
+    }
+    let threads = gate_threads(flops);
+    let chunk = y.len().div_ceil(threads.max(1));
+    umsc_rt::par::parallel_chunks_mut_with(threads, y, chunk, |ci, ych| {
+        let base = ci * chunk;
+        for (off, v) in ych.iter_mut().enumerate() {
+            f(base + off, v);
+        }
+    });
+}
+
+/// Internal scratch: a grow-only panel behind a `RefCell` so that
+/// `apply` methods taking `&self` can reuse it. Reallocation only ever
+/// happens when an apply needs *more* scratch than any previous one —
+/// i.e. never once warm at a fixed shape.
+pub(crate) type Scratch = RefCell<PanelBuf>;
+
+pub(crate) fn new_scratch() -> Scratch {
+    RefCell::new(PanelBuf::new())
+}
+
+/// A symmetric linear operator known only through its action.
+///
+/// # Contract
+///
+/// * [`dim`](LinOp::dim) is the (square) dimension `n`.
+/// * [`apply_into`](LinOp::apply_into) computes `y = A·x`, **overwriting
+///   every element of `y`** (callers need not and must not rely on the
+///   prior contents of `y`).
+/// * [`apply_block_into`](LinOp::apply_block_into) computes `Y = A·X`
+///   for row-major `n × k` blocks, also overwriting `Y` entirely. The
+///   provided default forwards column-by-column through two temporary
+///   vectors and therefore **allocates**; every node in this crate
+///   overrides it with an allocation-free parallel kernel, and
+///   performance-sensitive implementors should do the same.
+///
+/// Implementations may use interior mutability for scratch space (see
+/// [`WeightedSum`], [`LowRankAnchor`]); the trait deliberately takes
+/// `&self` so operators can be shared by reference through `&dyn LinOp`.
+pub trait LinOp {
+    /// Dimension `n` of the (square) operator.
+    fn dim(&self) -> usize;
+
+    /// `y = A·x`. Overwrites every element of `y`.
+    ///
+    /// # Panics
+    /// Panics if `x.len()` or `y.len()` differ from [`dim`](LinOp::dim).
+    fn apply_into(&self, x: &[f64], y: &mut [f64]);
+
+    /// `Y = A·X` for row-major `n × ncols` blocks. Overwrites `Y`.
+    ///
+    /// # Panics
+    /// Panics if `x.len()` or `y.len()` differ from `dim() * ncols`.
+    fn apply_block_into(&self, x: &[f64], ncols: usize, y: &mut [f64]) {
+        let n = self.dim();
+        assert_eq!(x.len(), n * ncols, "LinOp::apply_block_into: x length mismatch");
+        assert_eq!(y.len(), n * ncols, "LinOp::apply_block_into: y length mismatch");
+        if ncols == 0 {
+            return;
+        }
+        let mut xc = vec![0.0; n];
+        let mut yc = vec![0.0; n];
+        for j in 0..ncols {
+            for (i, v) in xc.iter_mut().enumerate() {
+                *v = x[i * ncols + j];
+            }
+            self.apply_into(&xc, &mut yc);
+            for (i, &v) in yc.iter().enumerate() {
+                y[i * ncols + j] = v;
+            }
+        }
+    }
+}
+
+impl<T: LinOp + ?Sized> LinOp for &T {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+    fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+        (**self).apply_into(x, y)
+    }
+    fn apply_block_into(&self, x: &[f64], ncols: usize, y: &mut [f64]) {
+        (**self).apply_block_into(x, ncols, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The default block apply (column-by-column through `apply_into`)
+    /// must agree exactly with an overridden block kernel: both reduce
+    /// to the same per-element dot products.
+    struct NoOverride<'a>(DenseOp<'a>);
+
+    impl LinOp for NoOverride<'_> {
+        fn dim(&self) -> usize {
+            self.0.dim()
+        }
+        fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+            self.0.apply_into(x, y)
+        }
+        // apply_block_into: trait default.
+    }
+
+    #[test]
+    fn default_block_apply_matches_override() {
+        let n = 7;
+        let k = 3;
+        let mut rng = umsc_rt::Rng::from_seed(11);
+        let a: Vec<f64> = (0..n * n).map(|_| rng.gen_range_f64(-1.0, 1.0)).collect();
+        let x: Vec<f64> = (0..n * k).map(|_| rng.gen_range_f64(-1.0, 1.0)).collect();
+        let op = DenseOp::new(n, &a);
+        let plain = NoOverride(DenseOp::new(n, &a));
+
+        let mut y0 = vec![f64::NAN; n * k];
+        let mut y1 = vec![f64::NAN; n * k];
+        op.apply_block_into(&x, k, &mut y0);
+        plain.apply_block_into(&x, k, &mut y1);
+        assert_eq!(y0, y1);
+    }
+
+    #[test]
+    fn reference_impl_forwards() {
+        fn apply_via<T: LinOp>(op: T, x: &[f64], y: &mut [f64]) -> usize {
+            op.apply_into(x, y);
+            op.dim()
+        }
+        let n = 4;
+        let a: Vec<f64> = (0..n * n).map(|i| i as f64).collect();
+        let op = DenseOp::new(n, &a);
+        let x = vec![1.0; n];
+        let mut y0 = vec![0.0; n];
+        let mut y1 = vec![0.0; n];
+        op.apply_into(&x, &mut y0);
+        assert_eq!(apply_via(op, &x, &mut y1), n);
+        assert_eq!(y0, y1);
+        let dynop: &dyn LinOp = &op;
+        assert_eq!(apply_via(dynop, &x, &mut y1), n);
+        assert_eq!(y0, y1);
+    }
+}

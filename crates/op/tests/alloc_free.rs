@@ -1,0 +1,96 @@
+//! Counting-allocator proof that every operator node is allocation-free
+//! once warm: after one apply at a given shape (which sizes any internal
+//! scratch), repeated applies must not touch the heap at all.
+//!
+//! Threads are pinned to one (`UMSC_THREADS=1`): spawning workers
+//! allocates stacks, and the counters are thread-local — the point here
+//! is the nodes' own memory behavior, not the runtime's.
+
+use umsc_op::{CsrOp, DenseOp, DiagShift, LinOp, LowRankAnchor, Scaled, WeightedSum};
+use umsc_rt::alloc_track::{measure, CountingAlloc};
+use umsc_rt::Rng;
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn random(len: usize, seed: u64) -> Vec<f64> {
+    let mut rng = Rng::from_seed(seed);
+    (0..len).map(|_| rng.gen_range_f64(-1.0, 1.0)).collect()
+}
+
+fn random_csr(n: usize, per_row: usize, seed: u64) -> (Vec<usize>, Vec<usize>, Vec<f64>) {
+    let mut rng = Rng::from_seed(seed);
+    let mut row_ptr = vec![0usize];
+    let mut col_idx = Vec::new();
+    let mut values = Vec::new();
+    for _ in 0..n {
+        let mut cols: Vec<usize> = (0..per_row).map(|_| rng.gen_range(0..n)).collect();
+        cols.sort_unstable();
+        cols.dedup();
+        for j in cols {
+            col_idx.push(j);
+            values.push(rng.gen_range_f64(-1.0, 1.0));
+        }
+        row_ptr.push(col_idx.len());
+    }
+    (row_ptr, col_idx, values)
+}
+
+/// Warm the op at both shapes, then assert zero allocations across
+/// repeated vector and block applies.
+fn assert_warm_applies_are_alloc_free(op: &dyn LinOp, label: &str) {
+    let n = op.dim();
+    let k = 4;
+    let x = random(n, 1);
+    let xb = random(n * k, 2);
+    let mut y = vec![0.0; n];
+    let mut yb = vec![0.0; n * k];
+
+    op.apply_into(&x, &mut y);
+    op.apply_block_into(&xb, k, &mut yb);
+
+    let stats = measure(|| {
+        for _ in 0..3 {
+            op.apply_into(&x, &mut y);
+            op.apply_block_into(&xb, k, &mut yb);
+        }
+    });
+    assert_eq!(
+        stats.allocations, 0,
+        "{label}: warm applies touched the heap {} times",
+        stats.allocations
+    );
+}
+
+#[test]
+fn all_nodes_are_allocation_free_once_warm() {
+    std::env::set_var("UMSC_THREADS", "1");
+    let n = 60;
+    let m = 9;
+
+    let dense = random(n * n, 10);
+    assert_warm_applies_are_alloc_free(&DenseOp::new(n, &dense), "DenseOp");
+    assert_warm_applies_are_alloc_free(&Scaled::new(0.5, DenseOp::new(n, &dense)), "Scaled");
+
+    let (rp, ci, vals) = random_csr(n, 6, 11);
+    assert_warm_applies_are_alloc_free(&CsrOp::new(n, &rp, &ci, &vals), "CsrOp");
+
+    let z = random(n * m, 12);
+    let lambda = random(m, 13);
+    assert_warm_applies_are_alloc_free(
+        &LowRankAnchor::new(n, m, &z).with_scale(&lambda),
+        "LowRankAnchor",
+    );
+
+    // The solver's fused operator: σI − Σ_v w_v L_v over CSR views.
+    let views: Vec<(Vec<usize>, Vec<usize>, Vec<f64>)> =
+        (0..3).map(|v| random_csr(n, 5, 20 + v)).collect();
+    let ops: Vec<CsrOp<'_>> =
+        views.iter().map(|(rp, ci, vals)| CsrOp::new(n, rp, ci, vals)).collect();
+    let mut fused = WeightedSum::with_weights(ops, &[0.3, 0.5, 0.2]);
+    assert_warm_applies_are_alloc_free(&DiagShift::new(2.0, &fused), "DiagShift(WeightedSum)");
+
+    // Weight updates between iterations must not allocate either.
+    let stats = measure(|| fused.set_weights(&[0.2, 0.2, 0.6]));
+    assert_eq!(stats.allocations, 0, "set_weights allocated");
+}

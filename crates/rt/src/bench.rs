@@ -10,7 +10,7 @@
 //!
 //! * `UMSC_BENCH_JSON=<path>` — every [`Bench::run`] additionally appends
 //!   one JSON object per line (JSONL) to `<path>`, so `scripts/bench.sh`
-//!   can assemble a machine-readable perf trajectory (`BENCH_2.json`)
+//!   can assemble a machine-readable perf trajectory (`BENCH_3.json`)
 //!   without scraping stdout;
 //! * `UMSC_BENCH_SMOKE=1` — bench binaries that consult [`smoke`] shrink
 //!   their problem sizes to seconds-scale, letting `scripts/verify.sh`

@@ -23,7 +23,11 @@
 //!   cases, input minimization on failure) and a micro-bench timer.
 //!   Replace `proptest` and `criterion` for the suites in
 //!   `crates/*/tests` and `crates/bench/benches`.
+//! * [`alloc_track`] — a counting global allocator for the
+//!   allocation-freedom and peak-memory regression tests (event count +
+//!   live-bytes high-water mark; test binaries install it themselves).
 
+pub mod alloc_track;
 pub mod bench;
 pub mod check;
 pub mod par;

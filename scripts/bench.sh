@@ -1,22 +1,23 @@
 #!/usr/bin/env bash
 # Perf-trajectory harness: runs the kernel microbenches and writes the
-# machine-readable snapshot BENCH_2.json (median ns per kernel, core
+# machine-readable snapshot BENCH_3.json (median ns per kernel, core
 # count, thread count) so future PRs can track regressions against a
 # committed baseline.
 #
 # Usage:
-#   scripts/bench.sh            # full sizes, writes BENCH_2.json
+#   scripts/bench.sh            # full sizes, writes BENCH_3.json
 #   UMSC_BENCH_SMOKE=1 scripts/bench.sh out.json   # tiny sizes, custom path
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_2.json}"
+out="${1:-BENCH_3.json}"
 jsonl="$(mktemp /tmp/umsc-bench.XXXXXX.jsonl)"
 trap 'rm -f "$jsonl"' EXIT
 
 export UMSC_BENCH_JSON="$jsonl"
 cargo bench -q -p umsc-bench --offline --bench solver_steps
 cargo bench -q -p umsc-bench --offline --bench eigensolvers
+cargo bench -q -p umsc-bench --offline --bench op_apply
 unset UMSC_BENCH_JSON
 
 cargo run -q --release -p umsc-bench --offline --bin bench_report -- "$jsonl" "$out"

@@ -17,4 +17,8 @@ UMSC_BENCH_SMOKE=1 scripts/bench.sh "$smoke_json"
 grep -q '"schema":"umsc-bench-trajectory/v1"' "$smoke_json" \
     || { echo "verify: bench snapshot missing schema marker" >&2; exit 1; }
 
-echo "verify: OK (offline build + tests + clippy + bench smoke)"
+# Sparse-vs-dense scaling demo must run end to end at smoke scale (it
+# re-asserts the O(nnz + n·c) memory story outside the test harness).
+UMSC_BENCH_SMOKE=1 cargo run -q --release --offline --example sparse_scaling
+
+echo "verify: OK (offline build + tests + clippy + bench smoke + sparse-scaling smoke)"

@@ -18,6 +18,7 @@
 //! | [`linalg`] | `umsc-linalg` | matrices, eigen/SVD/QR/LU/Lanczos |
 //! | [`metrics`] | `umsc-metrics` | ACC (Hungarian), NMI, purity, ARI, F |
 //! | [`kmeans`] | `umsc-kmeans` | K-means for the two-stage baselines |
+//! | [`op`] | `umsc-op` | matrix-free linear operators ([`op::LinOp`]) |
 //!
 //! ## Example
 //!
@@ -42,6 +43,7 @@ pub use umsc_graph as graph;
 pub use umsc_kmeans as kmeans;
 pub use umsc_linalg as linalg;
 pub use umsc_metrics as metrics;
+pub use umsc_op as op;
 
 // The types almost every user touches, at the top level.
 pub use umsc_core::{
