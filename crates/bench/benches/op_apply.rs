@@ -102,14 +102,37 @@ fn bench_block_apply(samples: usize, sizes: &[usize], ncols: usize, rank: usize)
     }
 }
 
+/// Untimed counting pass: with tracing on, one apply per node kind so
+/// the CSR row-chunk and GEMM dispatch counters land in the trajectory
+/// file. The timed passes above run with tracing disabled so their
+/// medians stay comparable with the pre-observability trajectory.
+fn count_dispatch_rates(n: usize, ncols: usize, rank: usize) {
+    umsc_obs::set_enabled(true);
+    let a = laplacian_like(n);
+    let csr = CsrMatrix::from_dense(&a, 1e-12);
+    let z = Matrix::from_fn(n, rank, |i, j| ((i * 5 + j * 11) as f64).cos());
+    let x: Vec<f64> = (0..n * ncols).map(|i| ((i * 7 + 1) as f64).sin()).collect();
+    let mut y = vec![0.0; n * ncols];
+    csr.as_op().apply_into(&x[..n], &mut y[..n]);
+    csr.as_op().apply_block_into(&x, ncols, &mut y);
+    DenseOp::new(n, a.as_slice()).apply_block_into(&x, ncols, &mut y);
+    LowRankAnchor::new(n, rank, z.as_slice()).apply_block_into(&x, ncols, &mut y);
+    for (name, value) in umsc_obs::counters_snapshot() {
+        umsc_rt::bench::record_counter("op_apply", &name, value);
+    }
+    umsc_obs::set_enabled(false);
+}
+
 fn main() {
     if smoke() {
         spot_check(96);
         bench_vector_apply(2, &[256], 16);
         bench_block_apply(2, &[256], 4, 16);
+        count_dispatch_rates(256, 4, 16);
     } else {
         spot_check(512);
         bench_vector_apply(10, &[1024, 4096], 64);
         bench_block_apply(10, &[1024, 4096], 8, 64);
+        count_dispatch_rates(4096, 8, 64);
     }
 }

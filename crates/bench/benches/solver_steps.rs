@@ -119,12 +119,36 @@ fn bench_square_gemm(samples: usize, sizes: &[usize]) {
     }
 }
 
+/// Untimed counting pass: with tracing on, re-run one iteration of the
+/// workloads so the observability counters tally which kernel paths the
+/// dispatcher actually picked at these sizes. Separate from the timed
+/// passes above, which run with tracing disabled so their medians stay
+/// comparable with the pre-observability trajectory (BENCH_3.json).
+fn count_dispatch_rates(gemm_sizes: &[usize], per_cluster: usize) {
+    umsc_obs::set_enabled(true);
+    for &n in gemm_sizes {
+        let a = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 7) as f64).sin());
+        let b = Matrix::from_fn(n, n, |i, j| ((i * 13 + j * 17) as f64).cos());
+        black_box(a.matmul(&b));
+    }
+    let (_laplacians, fused, f, y, _data) = setup(per_cluster);
+    let b_mat = y.matmul_transpose_b(&Matrix::identity(5)).scale(0.01);
+    black_box(gpi_stiefel(&fused, &b_mat, &f, 40, 1e-10).unwrap());
+    black_box(spectral_embedding(&fused, 5, 0).unwrap());
+    for (name, value) in umsc_obs::counters_snapshot() {
+        umsc_rt::bench::record_counter("solver_steps", &name, value);
+    }
+    umsc_obs::set_enabled(false);
+}
+
 fn main() {
     if smoke() {
         bench_solver_blocks(2, 8);
         bench_square_gemm(2, &[48]);
+        count_dispatch_rates(&[48], 8);
     } else {
         bench_solver_blocks(10, 50);
         bench_square_gemm(5, &[128, 256, 512]);
+        count_dispatch_rates(&[128, 256, 512], 50);
     }
 }

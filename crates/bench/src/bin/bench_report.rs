@@ -35,6 +35,7 @@ fn main() -> ExitCode {
     };
 
     let mut kernels = Vec::new();
+    let mut counters = Vec::new();
     let mut threads_seen: Option<f64> = None;
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
@@ -47,6 +48,25 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        // Counter records (from `umsc_rt::bench::record_counter`) carry a
+        // `kind` tag and a different shape than timing records.
+        if record.get("kind").and_then(Json::as_str) == Some("counter") {
+            let mut counter = BTreeMap::new();
+            for key in ["group", "id"] {
+                let Some(s) = record.get(key).and_then(Json::as_str) else {
+                    eprintln!("bench_report: {jsonl_in}:{}: missing string {key:?}", lineno + 1);
+                    return ExitCode::FAILURE;
+                };
+                counter.insert(key.to_string(), Json::Str(s.to_string()));
+            }
+            let Some(v) = record.get("value").and_then(Json::as_f64) else {
+                eprintln!("bench_report: {jsonl_in}:{}: missing number \"value\"", lineno + 1);
+                return ExitCode::FAILURE;
+            };
+            counter.insert("value".to_string(), Json::Num(v));
+            counters.push(Json::Obj(counter));
+            continue;
+        }
         let mut kernel = BTreeMap::new();
         for key in ["group", "id"] {
             let Some(s) = record.get(key).and_then(Json::as_str) else {
@@ -81,6 +101,7 @@ fn main() -> ExitCode {
     snapshot.insert("cores".to_string(), Json::Num(cores as f64));
     snapshot.insert("threads".to_string(), Json::Num(threads));
     snapshot.insert("kernels".to_string(), Json::Arr(kernels));
+    snapshot.insert("counters".to_string(), Json::Arr(counters));
     let snapshot = Json::Obj(snapshot);
 
     let rendered = format!("{}\n", snapshot.to_string_compact());
@@ -104,6 +125,9 @@ fn main() -> ExitCode {
     }
 
     let n = snapshot.get("kernels").and_then(Json::as_arr).map_or(0, <[Json]>::len);
-    println!("bench_report: wrote {json_out} ({n} kernels, {cores} cores, {threads} threads)");
+    let nc = snapshot.get("counters").and_then(Json::as_arr).map_or(0, <[Json]>::len);
+    println!(
+        "bench_report: wrote {json_out} ({n} kernels, {nc} counters, {cores} cores, {threads} threads)"
+    );
     ExitCode::SUCCESS
 }

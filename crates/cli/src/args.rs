@@ -10,20 +10,25 @@ pub struct Args {
     options: HashMap<String, String>,
 }
 
+/// Options that are boolean switches: present means on, no value token.
+const BOOL_FLAGS: &[&str] = &["verbose"];
+
 impl Args {
     /// Parses argv (without the program name).
     ///
-    /// Every `--key` must be followed by a value; unknown keys are kept
-    /// (validation is per-command).
+    /// Every `--key` must be followed by a value, except the boolean
+    /// switches in [`BOOL_FLAGS`] (e.g. `--verbose`), which take none;
+    /// unknown keys are kept (validation is per-command).
     pub fn parse(argv: &[String]) -> Result<Args, String> {
         let mut out = Args::default();
         let mut it = argv.iter().peekable();
         while let Some(tok) = it.next() {
             if let Some(key) = tok.strip_prefix("--") {
-                let value = it
-                    .next()
-                    .ok_or_else(|| format!("--{key} expects a value"))?
-                    .clone();
+                let value = if BOOL_FLAGS.contains(&key) {
+                    "1".to_string()
+                } else {
+                    it.next().ok_or_else(|| format!("--{key} expects a value"))?.clone()
+                };
                 if out.options.insert(key.to_string(), value).is_some() {
                     return Err(format!("--{key} given twice"));
                 }
@@ -34,6 +39,11 @@ impl Args {
             }
         }
         Ok(out)
+    }
+
+    /// Whether a boolean switch (see [`BOOL_FLAGS`]) was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.contains_key(key)
     }
 
     /// Required string option.
@@ -90,5 +100,16 @@ mod tests {
     fn bad_parse_reported() {
         let a = Args::parse(&argv(&["x", "--n", "abc"])).unwrap();
         assert!(a.get_parsed::<usize>("n", 0).is_err());
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let a = Args::parse(&argv(&["cluster", "--verbose", "--clusters", "3"])).unwrap();
+        assert!(a.flag("verbose"));
+        assert_eq!(a.get_parsed::<usize>("clusters", 0).unwrap(), 3);
+        let b = Args::parse(&argv(&["cluster", "--clusters", "3"])).unwrap();
+        assert!(!b.flag("verbose"));
+        // Trailing boolean flag needs no value either.
+        assert!(Args::parse(&argv(&["cluster", "--verbose"])).is_ok());
     }
 }

@@ -3,7 +3,10 @@
 use crate::args::Args;
 use std::path::Path;
 use umsc_baselines::standard_suite;
-use umsc_core::{AnchorAssigner, AnchorUmsc, AnchorUmscConfig, Metric, Umsc, UmscConfig};
+use umsc_bench::report::TextTable;
+use umsc_core::{
+    AnchorAssigner, AnchorUmsc, AnchorUmscConfig, IterationStats, Metric, Umsc, UmscConfig,
+};
 use umsc_data::{benchmark, BenchmarkId, MultiViewDataset};
 use umsc_metrics::MetricSuite;
 
@@ -16,6 +19,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         Some("cluster") => cluster(&args),
         Some("assign") => assign(&args),
         Some("evaluate") => evaluate(&args),
+        Some("trace-report") => trace_report(&args),
         Some("methods") => {
             for m in standard_suite(2) {
                 println!("{}", m.name());
@@ -24,10 +28,10 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
             Ok(())
         }
         Some(other) => Err(format!(
-            "unknown command {other:?}; try: generate, info, cluster, assign, evaluate, methods"
+            "unknown command {other:?}; try: generate, info, cluster, assign, evaluate, trace-report, methods"
         )),
         None => {
-            println!("usage: umsc <generate|info|cluster|assign|evaluate|methods> [--options]");
+            println!("usage: umsc <generate|info|cluster|assign|evaluate|trace-report|methods> [--options]");
             println!("see crate docs / README for details");
             Ok(())
         }
@@ -66,6 +70,17 @@ fn info(args: &Args) -> Result<(), String> {
 }
 
 fn cluster(args: &Args) -> Result<(), String> {
+    // Observability surface: --trace <path> points the umsc-trace/v1
+    // JSONL sink at a file (and turns instruments on); --verbose turns
+    // instruments on and prints the convergence + phase tables below.
+    if let Some(path) = args.get("trace") {
+        umsc_obs::set_trace_path(Some(path));
+    }
+    let verbose = args.flag("verbose");
+    if verbose {
+        umsc_obs::set_enabled(true);
+    }
+
     let data = load(args)?;
     let c: usize = args.get_parsed("clusters", data.num_clusters)?;
     let seed: u64 = args.get_parsed("seed", 0)?;
@@ -77,7 +92,7 @@ fn cluster(args: &Args) -> Result<(), String> {
     };
 
     let t0 = std::time::Instant::now();
-    let (labels, weights) = if method_name == "anchor-umsc" {
+    let (labels, weights, history) = if method_name == "anchor-umsc" {
         let anchors: usize = args.get_parsed("anchors", 100)?;
         let lambda: f64 = args.get_parsed("lambda", 1.0)?;
         let cfg = AnchorUmscConfig::new(c).with_anchors(anchors).with_lambda(lambda).with_seed(seed);
@@ -87,7 +102,7 @@ fn cluster(args: &Args) -> Result<(), String> {
             println!("saved assignable model to {path}");
         }
         let res = model.result;
-        (res.labels, Some(res.view_weights))
+        (res.labels, Some(res.view_weights), Some(res.history))
     } else if method_name == "umsc" {
         let lambda: f64 = args.get_parsed("lambda", 1.0)?;
         let cfg = UmscConfig::new(c).with_lambda(lambda).with_metric(metric).with_seed(seed);
@@ -103,14 +118,14 @@ fn cluster(args: &Args) -> Result<(), String> {
             other => return Err(format!("unknown --representation {other:?} (auto|dense|sparse)")),
         }
         .map_err(|e| e.to_string())?;
-        (res.labels, Some(res.view_weights))
+        (res.labels, Some(res.view_weights), Some(res.history))
     } else {
         let method = standard_suite(c)
             .into_iter()
             .find(|m| m.name().to_ascii_lowercase().contains(&method_name))
             .ok_or_else(|| format!("unknown --method {method_name:?}; run `umsc methods`"))?;
         let out = method.cluster(&data, seed).map_err(|e| e.to_string())?;
-        (out.labels, out.view_weights)
+        (out.labels, out.view_weights, None)
     };
     let elapsed = t0.elapsed();
 
@@ -126,6 +141,206 @@ fn cluster(args: &Args) -> Result<(), String> {
     // Ground truth travels with the CSV layout, so always report metrics.
     let m = MetricSuite::evaluate(&labels, &data.labels);
     println!("ACC = {:.4}  NMI = {:.4}  Purity = {:.4}  ARI = {:.4}", m.acc, m.nmi, m.purity, m.ari);
+
+    if verbose {
+        match history.as_deref() {
+            Some(history) if !history.is_empty() => print_convergence(history),
+            Some(_) => println!("(no convergence history: solver finished without iterating)"),
+            None => println!("(no convergence history: baseline methods do not expose one)"),
+        }
+        print_phase_breakdown();
+    }
+    if let Some(path) = args.get("trace") {
+        println!("trace:   {path} (umsc-trace/v1; inspect with `umsc trace-report --trace {path}`)");
+    }
+    Ok(())
+}
+
+/// `--verbose` convergence table: one row per outer sweep with the
+/// objective, its relative change, and the normalized view weights.
+fn print_convergence(history: &[IterationStats]) {
+    let mut table = TextTable::new(&["iter", "objective", "delta", "weights"]);
+    let mut prev: Option<f64> = None;
+    for (i, st) in history.iter().enumerate() {
+        let delta = prev.map_or("-".to_string(), |p| {
+            format!("{:.3e}", (p - st.objective).abs() / (1.0 + p.abs()))
+        });
+        let weights =
+            st.weights.iter().map(|w| format!("{w:.3}")).collect::<Vec<_>>().join(" ");
+        table.row(vec![i.to_string(), format!("{:.6}", st.objective), delta, weights]);
+        prev = Some(st.objective);
+    }
+    println!("\nconvergence ({} sweeps):", history.len());
+    print!("{}", table.render());
+}
+
+/// `--verbose` phase/counter breakdown from the in-process obs registry.
+fn print_phase_breakdown() {
+    let spans = umsc_obs::spans_snapshot();
+    if !spans.is_empty() {
+        let mut table = TextTable::new(&["phase", "count", "total", "mean", "max"]);
+        for (name, agg) in &spans {
+            table.row(vec![
+                name.clone(),
+                agg.count.to_string(),
+                fmt_ns(agg.total_ns as f64),
+                fmt_ns(agg.total_ns as f64 / agg.count.max(1) as f64),
+                fmt_ns(agg.max_ns as f64),
+            ]);
+        }
+        println!("\nphases:");
+        print!("{}", table.render());
+    }
+    let counters = umsc_obs::counters_snapshot();
+    if !counters.is_empty() {
+        let mut table = TextTable::new(&["counter", "value"]);
+        for (name, value) in &counters {
+            table.row(vec![name.clone(), value.to_string()]);
+        }
+        println!("\ncounters:");
+        print!("{}", table.render());
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// `trace-report`: aggregates an `umsc-trace/v1` JSONL file into
+/// per-phase time/count tables. Every line is run through the same
+/// strict parser the bench harness uses (`umsc_bench::json`), so a
+/// malformed or wrong-schema trace fails the command instead of being
+/// silently skipped.
+fn trace_report(args: &Args) -> Result<(), String> {
+    use std::collections::BTreeMap;
+    use umsc_bench::json::Json;
+
+    let path = args.require("trace")?;
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+
+    fn field_f64(v: &Json, key: &str) -> Option<f64> {
+        v.get(key).and_then(|x| x.as_f64())
+    }
+    fn field_str<'a>(v: &'a Json, key: &str) -> Option<&'a str> {
+        v.get(key).and_then(|x| x.as_str())
+    }
+
+    // Phase/counter dumps are cumulative per fit, so the last record per
+    // name wins; sweeps accumulate per solver.
+    let mut phases: BTreeMap<String, (u64, u64, u64)> = BTreeMap::new();
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut sweeps: BTreeMap<String, (usize, f64, f64)> = BTreeMap::new();
+    let mut fits: Vec<(String, u64, bool, u64)> = Vec::new();
+    let mut records = 0usize;
+
+    for (lineno, line) in raw.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let bad = |what: &str| format!("{path}:{}: {what}", lineno + 1);
+        let v = umsc_bench::json::parse(line).map_err(|e| bad(&e))?;
+        match field_str(&v, "schema") {
+            Some(umsc_obs::TRACE_SCHEMA) => {}
+            Some(other) => return Err(bad(&format!("unsupported schema {other:?}"))),
+            None => return Err(bad("missing \"schema\" field")),
+        }
+        records += 1;
+        match field_str(&v, "event") {
+            Some("sweep") => {
+                let solver = field_str(&v, "solver").ok_or_else(|| bad("sweep without solver"))?;
+                let obj = field_f64(&v, "objective").ok_or_else(|| bad("sweep without objective"))?;
+                sweeps
+                    .entry(solver.to_string())
+                    .and_modify(|(n, _first, last)| {
+                        *n += 1;
+                        *last = obj;
+                    })
+                    .or_insert((1, obj, obj));
+            }
+            Some("phase") => {
+                let name = field_str(&v, "name").ok_or_else(|| bad("phase without name"))?;
+                let count = field_f64(&v, "count").unwrap_or(0.0) as u64;
+                let total = field_f64(&v, "total_ns").unwrap_or(0.0) as u64;
+                let max = field_f64(&v, "max_ns").unwrap_or(0.0) as u64;
+                phases.insert(name.to_string(), (count, total, max));
+            }
+            Some("counter") => {
+                let name = field_str(&v, "name").ok_or_else(|| bad("counter without name"))?;
+                let value = field_f64(&v, "value").unwrap_or(0.0) as u64;
+                counters.insert(name.to_string(), value);
+            }
+            Some("fit") => {
+                let solver = field_str(&v, "solver").ok_or_else(|| bad("fit without solver"))?;
+                let iters = field_f64(&v, "iters").unwrap_or(0.0) as u64;
+                let converged = matches!(v.get("converged"), Some(Json::Bool(true)));
+                let elapsed = field_f64(&v, "elapsed_ns").unwrap_or(0.0) as u64;
+                fits.push((solver.to_string(), iters, converged, elapsed));
+            }
+            Some(other) => return Err(bad(&format!("unknown event {other:?}"))),
+            None => return Err(bad("missing \"event\" field")),
+        }
+    }
+    if records == 0 {
+        return Err(format!("{path}: no trace records"));
+    }
+    println!("{path}: {records} records ({})", umsc_obs::TRACE_SCHEMA);
+
+    if !fits.is_empty() {
+        let mut table = TextTable::new(&["solver", "sweeps", "converged", "elapsed"]);
+        for (solver, iters, converged, elapsed) in &fits {
+            table.row(vec![
+                solver.clone(),
+                iters.to_string(),
+                converged.to_string(),
+                fmt_ns(*elapsed as f64),
+            ]);
+        }
+        println!("\nfits:");
+        print!("{}", table.render());
+    }
+    if !sweeps.is_empty() {
+        let mut table = TextTable::new(&["solver", "sweeps", "first objective", "last objective"]);
+        for (solver, (n, first, last)) in &sweeps {
+            table.row(vec![
+                solver.clone(),
+                n.to_string(),
+                format!("{first:.6}"),
+                format!("{last:.6}"),
+            ]);
+        }
+        println!("\nsweeps:");
+        print!("{}", table.render());
+    }
+    if !phases.is_empty() {
+        let mut table = TextTable::new(&["phase", "count", "total", "mean", "max"]);
+        for (name, (count, total, max)) in &phases {
+            table.row(vec![
+                name.clone(),
+                count.to_string(),
+                fmt_ns(*total as f64),
+                fmt_ns(*total as f64 / (*count).max(1) as f64),
+                fmt_ns(*max as f64),
+            ]);
+        }
+        println!("\nphases:");
+        print!("{}", table.render());
+    }
+    if !counters.is_empty() {
+        let mut table = TextTable::new(&["counter", "value"]);
+        for (name, value) in &counters {
+            table.row(vec![name.clone(), value.to_string()]);
+        }
+        println!("\ncounters:");
+        print!("{}", table.render());
+    }
     Ok(())
 }
 
@@ -273,6 +488,59 @@ mod tests {
         .unwrap_err();
         assert!(err.contains("unknown --method"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_and_verbose_flow_produces_parseable_trace() {
+        let dir = tmp("trace");
+        let _ = std::fs::remove_dir_all(&dir);
+        let data = umsc_data::synth::MultiViewGmm::new(
+            "t",
+            2,
+            14,
+            vec![umsc_data::ViewSpec::clean(3), umsc_data::ViewSpec::clean(2)],
+        )
+        .generate(3);
+        umsc_data::io::save_csv(&data, &dir).unwrap();
+        let trace = dir.join("trace.jsonl");
+        dispatch(&argv(&[
+            "cluster",
+            "--data",
+            dir.to_str().unwrap(),
+            "--clusters",
+            "2",
+            "--verbose",
+            "--trace",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let raw = std::fs::read_to_string(&trace).unwrap();
+        assert!(!raw.trim().is_empty(), "trace file is empty");
+        assert!(raw.lines().all(|l| l.contains("\"schema\":\"umsc-trace/v1\"")));
+        // The report must parse the very file the run just wrote.
+        dispatch(&argv(&["trace-report", "--trace", trace.to_str().unwrap()])).unwrap();
+        // Tracing is process-global; switch it back off for other tests.
+        umsc_obs::set_trace_path(None);
+        umsc_obs::set_enabled(false);
+        umsc_obs::reset();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_report_rejects_garbage() {
+        let d = tmp("badtrace");
+        let _ = std::fs::create_dir_all(&d);
+        let p = d.join("bad.jsonl");
+        std::fs::write(&p, "this is not json\n").unwrap();
+        let err = dispatch(&argv(&["trace-report", "--trace", p.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("bad.jsonl:1"), "got {err:?}");
+        std::fs::write(&p, "{\"schema\":\"other/v9\",\"event\":\"sweep\"}\n").unwrap();
+        let err = dispatch(&argv(&["trace-report", "--trace", p.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("unsupported schema"), "got {err:?}");
+        std::fs::write(&p, "\n\n").unwrap();
+        let err = dispatch(&argv(&["trace-report", "--trace", p.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("no trace records"), "got {err:?}");
+        let _ = std::fs::remove_dir_all(&d);
     }
 
     #[test]

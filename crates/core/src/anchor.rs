@@ -217,8 +217,11 @@ impl AnchorUmsc {
             });
         }
         let lambda_eff = cfg.lambda * c as f64 / (10.0 * n as f64);
+        let obs = umsc_obs::enabled();
+        let fit_start = obs.then(std::time::Instant::now);
 
         // Warm start on the fused operator.
+        let warm_span = umsc_obs::span!("solve.warm_start");
         let nviews = factors.len();
         let mut weights = self.normalize(&vec![1.0; nviews]);
         let mut f = fused_embedding(factors, &weights, c, cfg.seed)?;
@@ -238,6 +241,8 @@ impl AnchorUmsc {
             f = fused_embedding(factors, &weights, c, cfg.seed)?;
         }
 
+        drop(warm_span);
+
         let mut r = init_rotation(&f)?;
         let mut labels = discretize_rows(&f.matmul(&r));
         let mut y = labels_to_indicator(&labels, c);
@@ -245,38 +250,54 @@ impl AnchorUmsc {
         let mut converged = false;
 
         for _iter in 0..cfg.max_iter {
-            if matches!(cfg.weighting, Weighting::Auto) {
-                weights = self.reweight(factors, &f);
+            let sweep_start = obs.then(std::time::Instant::now);
+            {
+                let _span = umsc_obs::span!("solve.w_step");
+                if matches!(cfg.weighting, Weighting::Auto) {
+                    weights = self.reweight(factors, &f);
+                }
             }
             let s: f64 = weights.iter().sum();
 
             // Matrix-free GPI: M = s·F + Σ w_v B_v(B_vᵀF) + λ·Y·Rᵀ.
-            let mut b_term = y.matmul_transpose_b(&r);
-            b_term.scale_mut(lambda_eff);
-            for _inner in 0..20 {
-                let mut m_mat = f.scale(s);
-                for (b, &w) in factors.iter().zip(weights.iter()) {
-                    let btf = b.matmul_transpose_a(&f);
-                    let bbtf = b.matmul(&btf);
-                    m_mat.axpy(w, &bbtf);
-                }
-                m_mat.axpy(1.0, &b_term);
-                let f_new = polar_orthogonalize(&m_mat)?;
-                let delta = (&f_new - &f).frobenius_norm();
-                f = f_new;
-                if delta < 1e-9 * (c as f64).sqrt() {
-                    break;
+            {
+                let _span = umsc_obs::span!("solve.f_step");
+                let mut b_term = y.matmul_transpose_b(&r);
+                b_term.scale_mut(lambda_eff);
+                for _inner in 0..20 {
+                    umsc_obs::counter!("gpi.iters", 1);
+                    let mut m_mat = f.scale(s);
+                    for (b, &w) in factors.iter().zip(weights.iter()) {
+                        let btf = b.matmul_transpose_a(&f);
+                        let bbtf = b.matmul(&btf);
+                        m_mat.axpy(w, &bbtf);
+                    }
+                    m_mat.axpy(1.0, &b_term);
+                    let f_new = polar_orthogonalize(&m_mat)?;
+                    let delta = (&f_new - &f).frobenius_norm();
+                    f = f_new;
+                    if delta < 1e-9 * (c as f64).sqrt() {
+                        break;
+                    }
                 }
             }
 
             // R-step on the row-normalized embedding; Y-step by argmax.
-            let mut f_tilde = f.clone();
-            for i in 0..n {
-                umsc_linalg::ops::normalize(f_tilde.row_mut(i));
+            {
+                let _span = umsc_obs::span!("solve.r_step");
+                let mut f_tilde = f.clone();
+                for i in 0..n {
+                    umsc_linalg::ops::normalize(f_tilde.row_mut(i));
+                }
+                r = procrustes(&f_tilde.matmul_transpose_a(&y))?;
+                umsc_obs::counter!("procrustes.updates", 1);
             }
-            r = procrustes(&f_tilde.matmul_transpose_a(&y))?;
-            labels = discretize_rows(&f.matmul(&r));
-            y = labels_to_indicator(&labels, c);
+            {
+                let _span = umsc_obs::span!("solve.y_step");
+                labels = discretize_rows(&f.matmul(&r));
+                y = labels_to_indicator(&labels, c);
+                umsc_obs::counter!("indicator.updates", 1);
+            }
 
             // Bookkeeping.
             let emb = self.embedding_objective(factors, &f);
@@ -290,6 +311,21 @@ impl AnchorUmsc {
                 rotation_term: rot,
                 weights: self.normalize(&weights),
             });
+            if obs {
+                let entry = history.last().expect("just pushed");
+                crate::telemetry::sweep(
+                    "anchor",
+                    history.len() - 1,
+                    &crate::solver::StepStats {
+                        objective,
+                        embedding_term: emb,
+                        rotation_term: rot,
+                    },
+                    prev,
+                    &entry.weights,
+                    crate::telemetry::elapsed_ns(sweep_start),
+                );
+            }
             if let Some(p) = prev {
                 if (p - objective).abs() <= cfg.tol * (1.0 + p.abs()) {
                     converged = true;
@@ -297,6 +333,12 @@ impl AnchorUmsc {
                 }
             }
         }
+        crate::telemetry::fit_done(
+            "anchor",
+            history.len(),
+            converged,
+            crate::telemetry::elapsed_ns(fit_start),
+        );
 
         Ok(UmscResult {
             labels,

@@ -147,8 +147,10 @@ pub fn gpi_stiefel_op_ws(
     ws.ensure(n, k);
     let GpiWorkspace { m, af, cc, svd } = ws;
 
+    let _span = umsc_obs::span!("gpi.solve");
     let mut prev = gpi_objective_ws(a, b, f, af, cc);
     for _ in 0..max_iter.max(1) {
+        umsc_obs::counter!("gpi.iters", 1);
         // M = (ηI − A)F + B = η·F − A·F + B.
         m.copy_from(f);
         m.scale_mut(eta);

@@ -48,6 +48,7 @@ pub mod indicator;
 pub mod pipeline;
 pub mod solver;
 pub mod sparse_solver;
+pub(crate) mod telemetry;
 pub mod workspace;
 
 pub use anchor::{AnchorAssigner, AnchorModel, AnchorUmsc, AnchorUmscConfig};

@@ -87,6 +87,7 @@ pub fn build_view_laplacians(data: &MultiViewDataset, cfg: &GraphConfig) -> Resu
     if data.n() < 2 {
         return Err(UmscError::InvalidInput(format!("need at least 2 points, got {}", data.n())));
     }
+    let _span = umsc_obs::span!("graph.build");
     Ok(build_laplacians_threaded(&data.views, cfg))
 }
 
@@ -103,6 +104,7 @@ pub fn build_view_laplacians_sparse(
     if data.n() < 2 {
         return Err(UmscError::InvalidInput(format!("need at least 2 points, got {}", data.n())));
     }
+    let _span = umsc_obs::span!("graph.build");
     Ok(umsc_rt::par::parallel_map(&data.views, |_, x| {
         let d = view_distances(x, cfg.metric);
         let w = match &cfg.kind {
@@ -152,6 +154,7 @@ pub fn spectral_embedding(l: &Matrix, k: usize, seed: u64) -> Result<Matrix> {
 /// Like [`spectral_embedding`] but also returns the `k` smallest
 /// eigenvalues (ascending) — used e.g. for eigengap-based view selection.
 pub fn spectral_embedding_with_values(l: &Matrix, k: usize, seed: u64) -> Result<(Vec<f64>, Matrix)> {
+    let _span = umsc_obs::span!("spectral.embedding");
     let n = l.rows();
     if k > n {
         return Err(UmscError::InvalidInput(format!("requested {k} eigenvectors of an {n}-dim Laplacian")));

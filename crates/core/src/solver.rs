@@ -217,12 +217,15 @@ impl Umsc {
     /// One-stage BCD (the paper's method).
     fn fit_one_stage(&self, laplacians: &[Matrix]) -> Result<UmscResult> {
         let cfg = &self.config;
+        let obs = umsc_obs::enabled();
+        let fit_start = obs.then(std::time::Instant::now);
         let mut st = self.init_solver_state(laplacians)?;
         let mut ws = SolverWorkspace::new();
         let mut history: Vec<IterationStats> = Vec::with_capacity(cfg.max_iter);
         let mut converged = false;
 
         for _iter in 0..cfg.max_iter {
+            let sweep_start = obs.then(std::time::Instant::now);
             let stats = self.one_step_solve(laplacians, &mut st, &mut ws)?;
             let prev = history.last().map(|s: &IterationStats| s.objective);
             history.push(IterationStats {
@@ -231,6 +234,17 @@ impl Umsc {
                 rotation_term: stats.rotation_term,
                 weights: normalized(&st.weights),
             });
+            if obs {
+                let entry = history.last().expect("just pushed");
+                crate::telemetry::sweep(
+                    "dense",
+                    history.len() - 1,
+                    &stats,
+                    prev,
+                    &entry.weights,
+                    crate::telemetry::elapsed_ns(sweep_start),
+                );
+            }
             if let Some(p) = prev {
                 if (p - stats.objective).abs() <= cfg.tol * (1.0 + p.abs()) {
                     converged = true;
@@ -238,6 +252,12 @@ impl Umsc {
                 }
             }
         }
+        crate::telemetry::fit_done(
+            "dense",
+            history.len(),
+            converged,
+            crate::telemetry::elapsed_ns(fit_start),
+        );
 
         let SolverState { f, r, y, labels, weights } = st;
         Ok(UmscResult {
@@ -300,34 +320,48 @@ impl Umsc {
         ws.ensure(n, c, true);
 
         // --- w-step ---
-        view_traces_into(laplacians, &st.f, &mut ws.lf, &mut ws.cc, &mut ws.traces);
-        self.weights_from_traces_into(&ws.traces, &mut st.weights);
+        {
+            let _span = umsc_obs::span!("solve.w_step");
+            view_traces_into(laplacians, &st.f, &mut ws.lf, &mut ws.cc, &mut ws.traces);
+            self.weights_from_traces_into(&ws.traces, &mut st.weights);
+        }
 
         // --- F-step ---
-        weighted_laplacian_into(laplacians, &st.weights, &mut ws.a);
-        effective_indicator(&st.y, scaled, &mut ws.sizes, &mut ws.y_eff);
-        b_matrix_into(&ws.y_eff, &st.r, lambda_eff, &mut ws.b);
-        gpi_stiefel_ws(&ws.a, &ws.b, &mut st.f, cfg.gpi_max_iter, 1e-10, &mut ws.gpi)?;
+        {
+            let _span = umsc_obs::span!("solve.f_step");
+            weighted_laplacian_into(laplacians, &st.weights, &mut ws.a);
+            effective_indicator(&st.y, scaled, &mut ws.sizes, &mut ws.y_eff);
+            b_matrix_into(&ws.y_eff, &st.r, lambda_eff, &mut ws.b);
+            gpi_stiefel_ws(&ws.a, &ws.b, &mut st.f, cfg.gpi_max_iter, 1e-10, &mut ws.gpi)?;
+        }
 
         // --- R-step ---
         // Procrustes on the row-normalized embedding F̃ (Yu–Shi): each
         // point votes equally in the alignment, so low-norm boundary
         // rows cannot skew the rotation.
-        effective_indicator(&st.y, scaled, &mut ws.sizes, &mut ws.y_eff);
-        row_normalized_into(&st.f, &mut ws.f_tilde);
-        ws.f_tilde.matmul_transpose_a_into(&ws.y_eff, &mut ws.cc);
-        procrustes_into(&ws.cc, &mut ws.svd_r, &mut st.r)?;
+        {
+            let _span = umsc_obs::span!("solve.r_step");
+            effective_indicator(&st.y, scaled, &mut ws.sizes, &mut ws.y_eff);
+            row_normalized_into(&st.f, &mut ws.f_tilde);
+            ws.f_tilde.matmul_transpose_a_into(&ws.y_eff, &mut ws.cc);
+            procrustes_into(&ws.cc, &mut ws.svd_r, &mut st.r)?;
+            umsc_obs::counter!("procrustes.updates", 1);
+        }
 
         // --- Y-step --- For the plain indicator, row-wise argmax is
         // the exact minimizer. For the scaled indicator the column
         // scales couple the rows, so the exact block minimizer is the
         // size-aware coordinate descent (crucial on unbalanced data).
-        st.f.matmul_into(&st.r, &mut ws.fr);
-        discretize_rows_into(&ws.fr, &mut st.labels, &mut ws.counts);
-        if scaled {
-            discretize_scaled_inplace(&ws.fr, &mut st.labels, 30, &mut ws.dsc_sizes, &mut ws.dsc_sums);
+        {
+            let _span = umsc_obs::span!("solve.y_step");
+            st.f.matmul_into(&st.r, &mut ws.fr);
+            discretize_rows_into(&ws.fr, &mut st.labels, &mut ws.counts);
+            if scaled {
+                discretize_scaled_inplace(&ws.fr, &mut st.labels, 30, &mut ws.dsc_sizes, &mut ws.dsc_sums);
+            }
+            labels_to_indicator_into(&st.labels, &mut st.y);
+            umsc_obs::counter!("indicator.updates", 1);
         }
-        labels_to_indicator_into(&st.labels, &mut st.y);
 
         // --- bookkeeping ---
         view_traces_into(laplacians, &st.f, &mut ws.lf, &mut ws.cc, &mut ws.traces);
@@ -398,6 +432,7 @@ impl Umsc {
     /// embedding iterated to stationarity (a handful of eigen-solves; with
     /// non-adaptive weights a single solve is exact).
     fn warm_start_embedding(&self, laplacians: &[Matrix]) -> Result<Matrix> {
+        let _span = umsc_obs::span!("solve.warm_start");
         let cfg = &self.config;
         let c = cfg.num_clusters;
         let mut f = spectral_embedding(&mean_laplacian(laplacians), c, cfg.seed)?;

@@ -95,7 +95,11 @@ impl Umsc {
             });
         }
 
+        let obs = umsc_obs::enabled();
+        let fit_start = obs.then(std::time::Instant::now);
+
         // Warm start: relaxed (λ→0) solution via re-weighted Lanczos.
+        let warm_span = umsc_obs::span!("solve.warm_start");
         let nviews = laplacians.len();
         let mut weights = self.initial_weights(nviews);
         let mut f = sparse_embedding(laplacians, &weights, c, cfg.seed)?;
@@ -112,6 +116,8 @@ impl Umsc {
             }
         }
 
+        drop(warm_span);
+
         let r = init_rotation(&f)?;
         let labels = discretize_rows(&f.matmul(&r));
         let y = labels_to_indicator(&labels, c);
@@ -127,6 +133,7 @@ impl Umsc {
         let mut ws = SolverWorkspace::new();
 
         for _iter in 0..cfg.max_iter {
+            let sweep_start = obs.then(std::time::Instant::now);
             let stats = self.one_step_solve_sparse(laplacians, &mut fused, &mut st, &mut ws)?;
             let prev = history.last().map(|h| h.objective);
             history.push(IterationStats {
@@ -135,6 +142,17 @@ impl Umsc {
                 rotation_term: stats.rotation_term,
                 weights: normalized(&st.weights),
             });
+            if obs {
+                let entry = history.last().expect("just pushed");
+                crate::telemetry::sweep(
+                    "sparse",
+                    history.len() - 1,
+                    &stats,
+                    prev,
+                    &entry.weights,
+                    crate::telemetry::elapsed_ns(sweep_start),
+                );
+            }
             if let Some(p) = prev {
                 if (p - stats.objective).abs() <= cfg.tol * (1.0 + p.abs()) {
                     converged = true;
@@ -142,6 +160,12 @@ impl Umsc {
                 }
             }
         }
+        crate::telemetry::fit_done(
+            "sparse",
+            history.len(),
+            converged,
+            crate::telemetry::elapsed_ns(fit_start),
+        );
 
         Ok(UmscResult {
             labels: st.labels,
@@ -174,30 +198,44 @@ impl Umsc {
         ws.ensure(n, c, false);
 
         // --- w-step: closed-form weights from the current traces. ---
-        sparse_traces_into(laplacians, &st.f, &mut ws.lf, &mut ws.cc, &mut ws.traces);
-        self.weights_from_traces_into(&ws.traces, &mut st.weights);
-        fused.set_weights(&st.weights);
+        {
+            let _span = umsc_obs::span!("solve.w_step");
+            sparse_traces_into(laplacians, &st.f, &mut ws.lf, &mut ws.cc, &mut ws.traces);
+            self.weights_from_traces_into(&ws.traces, &mut st.weights);
+            fused.set_weights(&st.weights);
+        }
 
         // --- F-step: matrix-free GPI. Normalized Laplacians satisfy
         // L ⪯ 2I, so η = 2·Σ_v w_v bounds λ_max of the fused operator. ---
-        let eta = 2.0 * st.weights.iter().sum::<f64>() + 1e-9;
-        effective_indicator(&st.y, scaled, &mut ws.sizes, &mut ws.y_eff);
-        b_matrix_into(&ws.y_eff, &st.r, lambda_eff, &mut ws.b);
-        gpi_stiefel_op_ws(&*fused, eta, &ws.b, &mut st.f, cfg.gpi_max_iter, 1e-10, &mut ws.gpi)?;
+        {
+            let _span = umsc_obs::span!("solve.f_step");
+            let eta = 2.0 * st.weights.iter().sum::<f64>() + 1e-9;
+            effective_indicator(&st.y, scaled, &mut ws.sizes, &mut ws.y_eff);
+            b_matrix_into(&ws.y_eff, &st.r, lambda_eff, &mut ws.b);
+            gpi_stiefel_op_ws(&*fused, eta, &ws.b, &mut st.f, cfg.gpi_max_iter, 1e-10, &mut ws.gpi)?;
+        }
 
         // --- R-step: Procrustes on the row-normalized embedding. ---
-        effective_indicator(&st.y, scaled, &mut ws.sizes, &mut ws.y_eff);
-        row_normalized_into(&st.f, &mut ws.f_tilde);
-        ws.f_tilde.matmul_transpose_a_into(&ws.y_eff, &mut ws.cc);
-        procrustes_into(&ws.cc, &mut ws.svd_r, &mut st.r)?;
+        {
+            let _span = umsc_obs::span!("solve.r_step");
+            effective_indicator(&st.y, scaled, &mut ws.sizes, &mut ws.y_eff);
+            row_normalized_into(&st.f, &mut ws.f_tilde);
+            ws.f_tilde.matmul_transpose_a_into(&ws.y_eff, &mut ws.cc);
+            procrustes_into(&ws.cc, &mut ws.svd_r, &mut st.r)?;
+            umsc_obs::counter!("procrustes.updates", 1);
+        }
 
         // --- Y-step: exact row-wise argmax discretization. ---
-        st.f.matmul_into(&st.r, &mut ws.fr);
-        discretize_rows_into(&ws.fr, &mut st.labels, &mut ws.counts);
-        if scaled {
-            discretize_scaled_inplace(&ws.fr, &mut st.labels, 30, &mut ws.dsc_sizes, &mut ws.dsc_sums);
+        {
+            let _span = umsc_obs::span!("solve.y_step");
+            st.f.matmul_into(&st.r, &mut ws.fr);
+            discretize_rows_into(&ws.fr, &mut st.labels, &mut ws.counts);
+            if scaled {
+                discretize_scaled_inplace(&ws.fr, &mut st.labels, 30, &mut ws.dsc_sizes, &mut ws.dsc_sums);
+            }
+            labels_to_indicator_into(&st.labels, &mut st.y);
+            umsc_obs::counter!("indicator.updates", 1);
         }
-        labels_to_indicator_into(&st.labels, &mut st.y);
 
         // --- Bookkeeping on the reported objective. ---
         sparse_traces_into(laplacians, &st.f, &mut ws.lf, &mut ws.cc, &mut ws.traces);

@@ -1,0 +1,55 @@
+//! Bridges solver internals to `umsc-obs`.
+//!
+//! All three solver flavors (dense, sparse, anchor) funnel their
+//! per-sweep and end-of-fit telemetry through these two helpers so the
+//! emitted `umsc-trace/v1` records carry identical fields. Both are
+//! no-ops when observability is disabled; callers additionally skip the
+//! clock reads in that case so the disabled path stays allocation- and
+//! syscall-free.
+
+use crate::solver::StepStats;
+
+/// Nanoseconds since `start`, or 0 when timing was skipped.
+pub(crate) fn elapsed_ns(start: Option<std::time::Instant>) -> u64 {
+    start.map_or(0, |t0| u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX))
+}
+
+/// Emits one `sweep` record: objective decomposition, relative
+/// objective change vs the previous sweep, normalized view weights,
+/// sweep wall time, and the allocator high-water mark (zero unless the
+/// counting allocator is installed and armed).
+pub(crate) fn sweep(
+    solver: &'static str,
+    iter: usize,
+    stats: &StepStats,
+    prev_objective: Option<f64>,
+    weights: &[f64],
+    elapsed_ns: u64,
+) {
+    if !umsc_obs::enabled() {
+        return;
+    }
+    let residual = prev_objective
+        .map_or(f64::NAN, |p| (p - stats.objective).abs() / (1.0 + p.abs()));
+    umsc_obs::emit_sweep(&umsc_obs::SweepRecord {
+        solver,
+        iter,
+        objective: stats.objective,
+        embedding_term: stats.embedding_term,
+        rotation_term: stats.rotation_term,
+        residual,
+        weights,
+        elapsed_ns,
+        peak_live_bytes: umsc_rt::alloc_track::current().peak_bytes,
+    });
+}
+
+/// Emits the `fit` summary record plus a cumulative dump of all phase
+/// aggregates and counters.
+pub(crate) fn fit_done(solver: &'static str, iters: usize, converged: bool, elapsed_ns: u64) {
+    if !umsc_obs::enabled() {
+        return;
+    }
+    umsc_obs::emit_fit(solver, iters, converged, elapsed_ns);
+    umsc_obs::emit_aggregates(solver);
+}

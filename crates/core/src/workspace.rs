@@ -19,6 +19,7 @@ use umsc_linalg::{Matrix, SvdScratch};
 /// Reallocates `m` only when its shape changes (contents unspecified).
 pub(crate) fn ensure_shape(m: &mut Matrix, rows: usize, cols: usize) {
     if m.shape() != (rows, cols) {
+        umsc_obs::counter!("workspace.realloc", 1);
         *m = Matrix::zeros(rows, cols);
     }
 }

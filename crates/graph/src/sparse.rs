@@ -175,6 +175,7 @@ impl CsrMatrix {
             return;
         }
         let rows_per = self.rows.div_ceil(threads.max(1));
+        umsc_obs::counter!("spmv.row_chunks", self.rows.div_ceil(rows_per));
         umsc_rt::par::parallel_chunks_mut_with(threads, y, rows_per, |ci, ychunk| {
             let base = ci * rows_per;
             for (off, out) in ychunk.iter_mut().enumerate() {

@@ -86,8 +86,10 @@ pub fn lanczos_smallest(op: &dyn LinOp, k: usize, cfg: &LanczosConfig) -> Result
     let mut check_at = cfg.initial_subspace.max(k + 2).min(n.max(1));
     let mut work = vec![0.0; n];
 
+    let _span = umsc_obs::span!("lanczos.solve");
     loop {
         // One Lanczos expansion step. `apply_into` overwrites `work`.
+        umsc_obs::counter!("lanczos.iters", 1);
         let j = basis.len() - 1;
         op.apply_into(&basis[j], &mut work);
         let a_j = dot(&basis[j], &work);

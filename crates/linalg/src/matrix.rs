@@ -369,9 +369,11 @@ impl Matrix {
             out.rows, out.cols, self.rows, other.cols
         );
         if threads > 1 && other.cols >= Self::GEMM_MIN_BLOCK_COLS {
+            umsc_obs::counter!("gemm.blocked", 1);
             let (tile_i, tile_j) = Self::gemm_tiles();
             self.matmul_blocked(threads, tile_i, tile_j, other, out);
         } else {
+            umsc_obs::counter!("gemm.rowwise", 1);
             self.matmul_rowwise(threads, other, out);
         }
     }

@@ -53,6 +53,7 @@ impl<'a> CsrOp<'a> {
             return;
         }
         let rows_per = n.div_ceil(threads.max(1));
+        umsc_obs::counter!("spmv.row_chunks", n.div_ceil(rows_per));
         umsc_rt::par::parallel_chunks_mut_with(threads, y, rows_per, |ci, ychunk| {
             let base = ci * rows_per;
             for (off, out) in ychunk.iter_mut().enumerate() {

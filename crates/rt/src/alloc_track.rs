@@ -106,6 +106,14 @@ pub fn measure(f: impl FnOnce()) -> AllocStats {
     ARMED.with(|armed| armed.set(true));
     f();
     ARMED.with(|armed| armed.set(false));
+    current()
+}
+
+/// Reads the current thread's counters without disturbing them — the
+/// live view that solver telemetry samples mid-[`measure`]. Outside a
+/// `measure` call (or when [`CountingAlloc`] is not the binary's global
+/// allocator) every field is zero.
+pub fn current() -> AllocStats {
     AllocStats {
         allocations: ALLOCS.with(|n| n.get()),
         peak_bytes: PEAK.with(|n| n.get().max(0)) as u64,

@@ -23,7 +23,6 @@
 //! assert!(stats.min_ns > 0.0);
 //! ```
 
-use std::io::Write;
 use std::time::Instant;
 
 /// True when `UMSC_BENCH_SMOKE` is set to `1`/`true`: bench binaries
@@ -108,9 +107,9 @@ fn record_json(group: &str, id: &str, samples: usize, stats: &Stats) {
         return;
     }
     let line = format!(
-        "{{\"group\":\"{}\",\"id\":\"{}\",\"min_ns\":{},\"median_ns\":{},\"mean_ns\":{},\"max_ns\":{},\"samples\":{},\"threads\":{}}}\n",
-        escape_json(group),
-        escape_json(id),
+        "{{\"group\":\"{}\",\"id\":\"{}\",\"min_ns\":{},\"median_ns\":{},\"mean_ns\":{},\"max_ns\":{},\"samples\":{},\"threads\":{}}}",
+        crate::jsonl::escape(group),
+        crate::jsonl::escape(id),
         stats.min_ns,
         stats.median_ns,
         stats.mean_ns,
@@ -118,29 +117,33 @@ fn record_json(group: &str, id: &str, samples: usize, stats: &Stats) {
         samples,
         crate::par::max_threads(),
     );
-    let appended = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(&path)
-        .and_then(|mut f| f.write_all(line.as_bytes()));
-    if let Err(e) = appended {
+    if let Err(e) = crate::jsonl::append_line(&path, &line) {
         eprintln!("warning: could not append to UMSC_BENCH_JSON={path}: {e}");
     }
 }
 
-/// Minimal JSON string escaping (quotes, backslashes, control bytes) —
-/// group/id names are code-controlled, but stay valid regardless.
-fn escape_json(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
+/// Appends one counter record to `$UMSC_BENCH_JSON` (no-op when unset).
+///
+/// Counter records carry `"kind":"counter"` so `bench_report` can route
+/// them into the snapshot's `counters` array instead of validating them
+/// as timing records. Bench binaries use this to publish observability
+/// counters (e.g. the blocked-GEMM dispatch tallies from `umsc-obs`)
+/// alongside their timings.
+pub fn record_counter(group: &str, id: &str, value: u64) {
+    let Ok(path) = std::env::var("UMSC_BENCH_JSON") else { return };
+    if path.is_empty() {
+        return;
     }
-    out
+    let line = format!(
+        "{{\"kind\":\"counter\",\"group\":\"{}\",\"id\":\"{}\",\"value\":{},\"threads\":{}}}",
+        crate::jsonl::escape(group),
+        crate::jsonl::escape(id),
+        value,
+        crate::par::max_threads(),
+    );
+    if let Err(e) = crate::jsonl::append_line(&path, &line) {
+        eprintln!("warning: could not append to UMSC_BENCH_JSON={path}: {e}");
+    }
 }
 
 /// Human-readable duration from nanoseconds.
@@ -182,13 +185,6 @@ mod tests {
         assert_eq!(fmt_ns(1_500.0), "1.50 µs");
         assert_eq!(fmt_ns(2_500_000.0), "2.50 ms");
         assert_eq!(fmt_ns(3_200_000_000.0), "3.200 s");
-    }
-
-    #[test]
-    fn json_escaping() {
-        assert_eq!(escape_json("plain/kernel_512"), "plain/kernel_512");
-        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
-        assert_eq!(escape_json("tab\there"), "tab\\u0009here");
     }
 
     #[test]

@@ -26,10 +26,14 @@
 //! * [`alloc_track`] — a counting global allocator for the
 //!   allocation-freedom and peak-memory regression tests (event count +
 //!   live-bytes high-water mark; test binaries install it themselves).
+//! * [`jsonl`] — the shared line-atomic JSONL append writer behind both
+//!   machine-readable hooks (`UMSC_BENCH_JSON` bench trajectories and
+//!   `umsc-obs`'s `UMSC_TRACE_JSON` solver traces).
 
 pub mod alloc_track;
 pub mod bench;
 pub mod check;
+pub mod jsonl;
 pub mod par;
 pub mod rng;
 

@@ -1,0 +1,54 @@
+//! Line-atomicity of the shared JSONL writer under the scoped pool:
+//! many worker threads appending records concurrently must yield a file
+//! of whole, parseable lines (in some interleaved order), never torn or
+//! spliced ones.
+
+use std::collections::BTreeMap;
+
+#[test]
+fn concurrent_appends_are_line_atomic() {
+    let path = std::env::temp_dir()
+        .join(format!("umsc_jsonl_concurrent_{}.jsonl", std::process::id()));
+    let path_str = path.to_str().unwrap().to_string();
+    let _ = std::fs::remove_file(&path);
+
+    const WRITERS: usize = 8;
+    const LINES_PER_WRITER: usize = 200;
+    let ids: Vec<usize> = (0..WRITERS).collect();
+    let payload: String = "x".repeat(64);
+
+    umsc_rt::par::parallel_map_with(WRITERS, &ids, |_, &w| {
+        for i in 0..LINES_PER_WRITER {
+            let line = format!("{{\"writer\":{w},\"seq\":{i},\"pad\":\"{payload}\"}}");
+            umsc_rt::jsonl::append_line(&path_str, &line).expect("append");
+        }
+    });
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+
+    // Every line is exactly one well-formed record; per-writer sequence
+    // numbers appear in order (appends from one thread are ordered) and
+    // all WRITERS * LINES_PER_WRITER records survive.
+    let mut next_seq: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut total = 0usize;
+    for line in text.lines() {
+        assert!(
+            line.starts_with("{\"writer\":") && line.ends_with('}'),
+            "torn or spliced line: {line:?}"
+        );
+        let rest = &line["{\"writer\":".len()..];
+        let comma = rest.find(',').unwrap();
+        let w: usize = rest[..comma].parse().expect("writer id");
+        let seq_key = "\"seq\":";
+        let at = rest.find(seq_key).unwrap() + seq_key.len();
+        let end = rest[at..].find(',').unwrap() + at;
+        let seq: usize = rest[at..end].parse().expect("seq");
+        let expect = next_seq.entry(w).or_insert(0);
+        assert_eq!(seq, *expect, "writer {w} lines out of order or lost");
+        *expect += 1;
+        assert!(line.contains(&payload), "payload truncated: {line:?}");
+        total += 1;
+    }
+    assert_eq!(total, WRITERS * LINES_PER_WRITER);
+}

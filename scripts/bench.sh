@@ -1,16 +1,17 @@
 #!/usr/bin/env bash
 # Perf-trajectory harness: runs the kernel microbenches and writes the
-# machine-readable snapshot BENCH_3.json (median ns per kernel, core
-# count, thread count) so future PRs can track regressions against a
-# committed baseline.
+# machine-readable snapshot BENCH_4.json (median ns per kernel, core
+# count, thread count, plus observability counter records such as the
+# blocked-vs-rowwise GEMM dispatch tallies) so future PRs can track
+# regressions against a committed baseline.
 #
 # Usage:
-#   scripts/bench.sh            # full sizes, writes BENCH_3.json
+#   scripts/bench.sh            # full sizes, writes BENCH_4.json
 #   UMSC_BENCH_SMOKE=1 scripts/bench.sh out.json   # tiny sizes, custom path
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_3.json}"
+out="${1:-BENCH_4.json}"
 jsonl="$(mktemp /tmp/umsc-bench.XXXXXX.jsonl)"
 trap 'rm -f "$jsonl"' EXIT
 

@@ -21,4 +21,19 @@ grep -q '"schema":"umsc-bench-trajectory/v1"' "$smoke_json" \
 # re-asserts the O(nnz + n·c) memory story outside the test harness).
 UMSC_BENCH_SMOKE=1 cargo run -q --release --offline --example sparse_scaling
 
-echo "verify: OK (offline build + tests + clippy + bench smoke + sparse-scaling smoke)"
+# Observability smoke: a traced fit must emit a parseable umsc-trace/v1
+# JSONL stream, and trace-report must aggregate it without errors.
+trace_dir="$(mktemp -d /tmp/umsc-verify-trace.XXXXXX)"
+trap 'rm -f "$smoke_json"; rm -rf "$trace_dir"' EXIT
+trace_json="$trace_dir/trace.jsonl"
+cargo run -q --release --offline -p umsc-cli -- \
+    generate --benchmark MSRC-v1 --out "$trace_dir/data"
+UMSC_TRACE_JSON="$trace_json" cargo run -q --release --offline -p umsc-cli -- \
+    cluster --data "$trace_dir/data" --verbose
+[ -s "$trace_json" ] || { echo "verify: traced fit wrote no trace records" >&2; exit 1; }
+grep -q '"schema":"umsc-trace/v1"' "$trace_json" \
+    || { echo "verify: trace missing schema marker" >&2; exit 1; }
+cargo run -q --release --offline -p umsc-cli -- trace-report --trace "$trace_json" \
+    || { echo "verify: trace-report failed to parse the trace" >&2; exit 1; }
+
+echo "verify: OK (offline build + tests + clippy + bench smoke + sparse-scaling smoke + trace smoke)"
