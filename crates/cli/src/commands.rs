@@ -5,7 +5,8 @@ use std::path::Path;
 use umsc_baselines::standard_suite;
 use umsc_bench::report::TextTable;
 use umsc_core::{
-    AnchorAssigner, AnchorUmsc, AnchorUmscConfig, IterationStats, Metric, Umsc, UmscConfig,
+    AnchorAssigner, AnchorUmsc, AnchorUmscConfig, EigSolver, IterationStats, Metric, Umsc,
+    UmscConfig,
 };
 use umsc_data::{benchmark, BenchmarkId, MultiViewDataset};
 use umsc_metrics::MetricSuite;
@@ -90,12 +91,25 @@ fn cluster(args: &Args) -> Result<(), String> {
         "cosine" => Metric::Cosine,
         other => return Err(format!("unknown --metric {other:?} (euclidean|cosine)")),
     };
+    // Eigensolver policy for the warm-start sweeps. `jacobi` is dense-only
+    // and the solver rejects it on the matrix-free paths.
+    let eig = match args.get("eig").unwrap_or("auto") {
+        "auto" => EigSolver::Auto,
+        "lanczos" => EigSolver::Lanczos,
+        "blanczos" => EigSolver::Blanczos,
+        "jacobi" => EigSolver::Jacobi,
+        other => return Err(format!("unknown --eig {other:?} (auto|lanczos|blanczos|jacobi)")),
+    };
 
     let t0 = std::time::Instant::now();
     let (labels, weights, history) = if method_name == "anchor-umsc" {
         let anchors: usize = args.get_parsed("anchors", 100)?;
         let lambda: f64 = args.get_parsed("lambda", 1.0)?;
-        let cfg = AnchorUmscConfig::new(c).with_anchors(anchors).with_lambda(lambda).with_seed(seed);
+        let cfg = AnchorUmscConfig::new(c)
+            .with_anchors(anchors)
+            .with_lambda(lambda)
+            .with_seed(seed)
+            .with_eig(eig);
         let model = AnchorUmsc::new(cfg).fit_model(&data).map_err(|e| e.to_string())?;
         if let Some(path) = args.get("save-model") {
             model.assigner.save(Path::new(path)).map_err(|e| e.to_string())?;
@@ -105,7 +119,11 @@ fn cluster(args: &Args) -> Result<(), String> {
         (res.labels, Some(res.view_weights), Some(res.history))
     } else if method_name == "umsc" {
         let lambda: f64 = args.get_parsed("lambda", 1.0)?;
-        let cfg = UmscConfig::new(c).with_lambda(lambda).with_metric(metric).with_seed(seed);
+        let cfg = UmscConfig::new(c)
+            .with_lambda(lambda)
+            .with_metric(metric)
+            .with_seed(seed)
+            .with_eig(eig);
         let model = Umsc::new(cfg);
         // `auto` keys the operator representation off the graph kind: the
         // default k-NN graph runs the matrix-free CSR path, dense/CAN
@@ -341,7 +359,34 @@ fn trace_report(args: &Args) -> Result<(), String> {
         println!("\ncounters:");
         print!("{}", table.render());
     }
+    print_eigensolver_summary(&counters);
     Ok(())
+}
+
+/// Derived view over the `blanczos.*` counters: per-solve block-iteration
+/// and restart rates, so a trace answers "did the warm start pay off?"
+/// without the reader dividing counters by hand. A trace from a run that
+/// never touched the block solver (e.g. `--eig lanczos`) has no
+/// `blanczos.solves` counter and prints nothing.
+fn print_eigensolver_summary(counters: &std::collections::BTreeMap<String, u64>) {
+    let solves = counters.get("blanczos.solves").copied().unwrap_or(0);
+    if solves == 0 {
+        return;
+    }
+    let per_solve = |key: &str| {
+        let total = counters.get(key).copied().unwrap_or(0);
+        (total, total as f64 / solves as f64)
+    };
+    let (iters, iters_rate) = per_solve("blanczos.iters");
+    let (restarts, restarts_rate) = per_solve("blanczos.restarts");
+    let (deflated, deflated_rate) = per_solve("blanczos.deflated");
+    let mut table = TextTable::new(&["metric", "total", "per solve"]);
+    table.row(vec!["solves".into(), solves.to_string(), "-".into()]);
+    table.row(vec!["block iterations".into(), iters.to_string(), format!("{iters_rate:.2}")]);
+    table.row(vec!["restarts".into(), restarts.to_string(), format!("{restarts_rate:.2}")]);
+    table.row(vec!["deflated columns".into(), deflated.to_string(), format!("{deflated_rate:.2}")]);
+    println!("\nblock eigensolver ({solves} solves):");
+    print!("{}", table.render());
 }
 
 fn assign(args: &Args) -> Result<(), String> {
@@ -468,6 +513,113 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.contains("--representation"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eig_flag_accepted_and_validated() {
+        let dir = tmp("eig");
+        let _ = std::fs::remove_dir_all(&dir);
+        let data = umsc_data::synth::MultiViewGmm::new(
+            "e",
+            2,
+            12,
+            vec![umsc_data::ViewSpec::clean(3)],
+        )
+        .generate(4);
+        umsc_data::io::save_csv(&data, &dir).unwrap();
+        // `jacobi` rides the dense representation; the others run the
+        // default auto path.
+        for (eig, repr) in
+            [("auto", "auto"), ("lanczos", "auto"), ("blanczos", "auto"), ("jacobi", "dense")]
+        {
+            dispatch(&argv(&[
+                "cluster",
+                "--data",
+                dir.to_str().unwrap(),
+                "--clusters",
+                "2",
+                "--eig",
+                eig,
+                "--representation",
+                repr,
+            ]))
+            .unwrap();
+        }
+        let err = dispatch(&argv(&[
+            "cluster",
+            "--data",
+            dir.to_str().unwrap(),
+            "--eig",
+            "powermethod",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--eig"), "got {err:?}");
+        assert!(err.contains("auto|lanczos|blanczos|jacobi"), "got {err:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// ISSUE acceptance criterion: tracing is observation only — a
+    /// `--eig blanczos` run must write bitwise-identical labels whether
+    /// the trace sink is attached or not.
+    #[test]
+    fn blanczos_labels_identical_with_and_without_tracing() {
+        let dir = tmp("eigtrace");
+        let _ = std::fs::remove_dir_all(&dir);
+        let data = umsc_data::synth::MultiViewGmm::new(
+            "bt",
+            3,
+            15,
+            vec![umsc_data::ViewSpec::clean(4), umsc_data::ViewSpec::clean(3)],
+        )
+        .generate(5);
+        umsc_data::io::save_csv(&data, &dir).unwrap();
+
+        let plain = dir.join("plain.csv");
+        dispatch(&argv(&[
+            "cluster",
+            "--data",
+            dir.to_str().unwrap(),
+            "--clusters",
+            "3",
+            "--eig",
+            "blanczos",
+            "--out",
+            plain.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        let traced = dir.join("traced.csv");
+        let trace = dir.join("eig_trace.jsonl");
+        dispatch(&argv(&[
+            "cluster",
+            "--data",
+            dir.to_str().unwrap(),
+            "--clusters",
+            "3",
+            "--eig",
+            "blanczos",
+            "--out",
+            traced.to_str().unwrap(),
+            "--verbose",
+            "--trace",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        umsc_obs::set_trace_path(None);
+        umsc_obs::set_enabled(false);
+        umsc_obs::reset();
+
+        let a = std::fs::read(&plain).unwrap();
+        let b = std::fs::read(&traced).unwrap();
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "tracing changed --eig blanczos label output");
+
+        // The traced run must have recorded block-solver activity, and
+        // the report (with its eigensolver summary) must parse it.
+        let raw = std::fs::read_to_string(&trace).unwrap();
+        assert!(raw.contains("blanczos.solves"), "trace has no blanczos counters");
+        dispatch(&argv(&["trace-report", "--trace", trace.to_str().unwrap()])).unwrap();
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -17,13 +17,16 @@
 //!
 //! Total per-iteration cost O(n·m·c): linear in the number of points.
 
-use crate::config::Weighting;
+use crate::config::{EigSolver, Weighting};
 use crate::error::UmscError;
 use crate::indicator::{discretize_rows, labels_to_indicator};
-use crate::solver::{init_rotation, IterationStats, UmscResult};
+use crate::solver::{copy_embedding, init_rotation, IterationStats, UmscResult};
 use crate::Result;
 use umsc_data::MultiViewDataset;
-use umsc_linalg::{lanczos_smallest, polar_orthogonalize, procrustes, LanczosConfig, Matrix};
+use umsc_linalg::{
+    blanczos_smallest_ws, lanczos_smallest, polar_orthogonalize, procrustes, BlanczosConfig,
+    BlanczosWorkspace, LanczosConfig, Matrix,
+};
 use umsc_op::{DiagShift, LinOp, LowRankAnchor, WeightedSum};
 
 /// Configuration of the anchor-based solver.
@@ -45,6 +48,9 @@ pub struct AnchorUmscConfig {
     pub tol: f64,
     /// Seed for anchor selection and Lanczos.
     pub seed: u64,
+    /// Eigensolver policy for the warm-start embedding sweeps (Jacobi is
+    /// dense-only and rejected by this matrix-free path).
+    pub eig: EigSolver,
 }
 
 impl AnchorUmscConfig {
@@ -59,6 +65,7 @@ impl AnchorUmscConfig {
             max_iter: 50,
             tol: 1e-6,
             seed: 0,
+            eig: EigSolver::Auto,
         }
     }
 
@@ -77,6 +84,12 @@ impl AnchorUmscConfig {
     /// Sets the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the eigensolver policy for the embedding sweeps.
+    pub fn with_eig(mut self, eig: EigSolver) -> Self {
+        self.eig = eig;
         self
     }
 }
@@ -216,20 +229,41 @@ impl AnchorUmsc {
                 converged: true,
             });
         }
+        if cfg.eig == EigSolver::Jacobi {
+            return Err(UmscError::InvalidInput(
+                "EigSolver::Jacobi needs a dense matrix; the anchor path supports auto/lanczos/blanczos".into(),
+            ));
+        }
         let lambda_eff = cfg.lambda * c as f64 / (10.0 * n as f64);
         let obs = umsc_obs::enabled();
         let fit_start = obs.then(std::time::Instant::now);
 
-        // Warm start on the fused operator.
+        // Warm start on ONE persistent fused operator
+        // `(s+ε)·I − Σ w_v B_v B_vᵀ`: each re-weighting sweep swaps the
+        // shift and the weights in place, and under the default `Auto`
+        // policy re-converges warm-started block Lanczos from the carried
+        // Ritz subspace (see [`EigSolver`]).
         let warm_span = umsc_obs::span!("solve.warm_start");
         let nviews = factors.len();
         let mut weights = self.normalize(&vec![1.0; nviews]);
-        let mut f = fused_embedding(factors, &weights, c, cfg.seed)?;
+        let ops: Vec<LowRankAnchor<'_>> = factors
+            .iter()
+            .map(|b| LowRankAnchor::new(b.rows(), b.cols(), b.as_slice()))
+            .collect();
+        let mut op = DiagShift::new(
+            weights.iter().sum::<f64>() + 1e-9,
+            WeightedSum::with_weights(ops, &weights),
+        );
+        let mut eig = BlanczosWorkspace::new();
+        let mut f = Matrix::zeros(n, c);
+        anchor_embedding_solve(&op, c, cfg.eig, cfg.seed, &mut eig, &mut f)?;
         if matches!(cfg.weighting, Weighting::Auto) {
             let mut prev = f64::INFINITY;
             for _ in 0..cfg.max_iter.max(1) {
                 weights = self.reweight(factors, &f);
-                f = fused_embedding(factors, &weights, c, cfg.seed)?;
+                op.set_sigma(weights.iter().sum::<f64>() + 1e-9);
+                op.inner_mut().set_weights(&weights);
+                anchor_embedding_solve(&op, c, cfg.eig, cfg.seed, &mut eig, &mut f)?;
                 let obj = self.embedding_objective(factors, &f);
                 if (prev - obj).abs() <= cfg.tol * (1.0 + prev.abs()) {
                     break;
@@ -238,7 +272,9 @@ impl AnchorUmsc {
             }
         } else {
             weights = self.fixed_weights(nviews);
-            f = fused_embedding(factors, &weights, c, cfg.seed)?;
+            op.set_sigma(weights.iter().sum::<f64>() + 1e-9);
+            op.inner_mut().set_weights(&weights);
+            anchor_embedding_solve(&op, c, cfg.eig, cfg.seed, &mut eig, &mut f)?;
         }
 
         drop(warm_span);
@@ -620,17 +656,44 @@ fn view_traces(factors: &[Matrix], f: &Matrix) -> Vec<f64> {
 /// `(s + ε)·I − Σ w_v B_v B_vᵀ`: the largest of the fused anchor affinity,
 /// i.e. the smallest of the fused normalized Laplacian. Composed from
 /// [`umsc_op`] nodes — each `B_v B_vᵀ` stays an implicit rank-`m` factor,
-/// so one application costs O(n·m) instead of O(n²).
-fn fused_embedding(factors: &[Matrix], weights: &[f64], c: usize, seed: u64) -> Result<Matrix> {
-    let ops: Vec<LowRankAnchor<'_>> = factors
-        .iter()
-        .map(|b| LowRankAnchor::new(b.rows(), b.cols(), b.as_slice()))
-        .collect();
-    let shift = weights.iter().sum::<f64>() + 1e-9;
-    let op = DiagShift::new(shift, WeightedSum::with_weights(ops, weights));
-    let cfg = LanczosConfig { seed, initial_subspace: (2 * c + 20).min(op.dim()), ..Default::default() };
-    let (_, vecs) = lanczos_smallest(&op, c, &cfg)?;
-    Ok(vecs)
+/// so one application costs O(n·m) instead of O(n²). `Jacobi` is rejected
+/// before the warm loop, so it never reaches here; warm block solves run
+/// under an `eig.warm` span for the trace.
+fn anchor_embedding_solve(
+    op: &DiagShift<WeightedSum<LowRankAnchor<'_>>>,
+    c: usize,
+    kind: EigSolver,
+    seed: u64,
+    eig: &mut BlanczosWorkspace,
+    f: &mut Matrix,
+) -> Result<()> {
+    let scalar_lanczos = |f: &mut Matrix| -> Result<()> {
+        let cfg =
+            LanczosConfig { seed, initial_subspace: (2 * c + 20).min(op.dim()), ..Default::default() };
+        let (_, vecs) = lanczos_smallest(op, c, &cfg)?;
+        copy_embedding(f, &vecs);
+        Ok(())
+    };
+    match kind {
+        EigSolver::Auto => {
+            if eig.is_warm() {
+                let _g = umsc_obs::span!("eig.warm");
+                blanczos_smallest_ws(op, c, &BlanczosConfig { seed, ..Default::default() }, eig)?;
+                copy_embedding(f, eig.subspace());
+            } else {
+                scalar_lanczos(f)?;
+                eig.seed_from(f);
+            }
+        }
+        EigSolver::Blanczos => {
+            let _g = eig.is_warm().then(|| umsc_obs::span!("eig.warm"));
+            blanczos_smallest_ws(op, c, &BlanczosConfig { seed, ..Default::default() }, eig)?;
+            copy_embedding(f, eig.subspace());
+        }
+        EigSolver::Lanczos => scalar_lanczos(f)?,
+        EigSolver::Jacobi => unreachable!("Jacobi is rejected before the anchor warm loop"),
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -673,6 +736,24 @@ mod tests {
                 w[1].objective
             );
         }
+    }
+
+    #[test]
+    fn eig_policies_agree_and_jacobi_rejected() {
+        let data = gmm(50, 21);
+        let base = AnchorUmsc::new(AnchorUmscConfig::new(3).with_anchors(30)).fit(&data).unwrap();
+        for eig in [EigSolver::Lanczos, EigSolver::Blanczos] {
+            let res = AnchorUmsc::new(AnchorUmscConfig::new(3).with_anchors(30).with_eig(eig))
+                .fit(&data)
+                .unwrap();
+            assert!(
+                umsc_metrics::nmi(&base.labels, &res.labels) > 0.99,
+                "{eig:?} partition diverges"
+            );
+        }
+        let jac = AnchorUmsc::new(AnchorUmscConfig::new(3).with_anchors(30).with_eig(EigSolver::Jacobi))
+            .fit(&data);
+        assert!(matches!(jac, Err(UmscError::InvalidInput(_))), "Jacobi must be rejected");
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! objective is monotonically non-increasing — asserted in tests and
 //! plotted by bench figure F1.
 
-use crate::config::{Discretization, UmscConfig, Weighting};
+use crate::config::{Discretization, EigSolver, UmscConfig, Weighting};
 use crate::error::UmscError;
 use crate::gpi::gpi_stiefel_ws;
 use crate::indicator::{
@@ -27,7 +27,10 @@ use crate::workspace::SolverWorkspace;
 use crate::Result;
 use umsc_data::MultiViewDataset;
 use umsc_kmeans::{kmeans, KMeansConfig};
-use umsc_linalg::{procrustes, procrustes_into, Matrix};
+use umsc_linalg::{
+    blanczos_smallest_ws, jacobi_eigen, lanczos_smallest, procrustes, procrustes_into,
+    BlanczosConfig, BlanczosWorkspace, LanczosConfig, Matrix,
+};
 
 /// Snapshot of one outer iteration (for convergence plots).
 #[derive(Debug, Clone)]
@@ -219,8 +222,8 @@ impl Umsc {
         let cfg = &self.config;
         let obs = umsc_obs::enabled();
         let fit_start = obs.then(std::time::Instant::now);
-        let mut st = self.init_solver_state(laplacians)?;
         let mut ws = SolverWorkspace::new();
+        let mut st = self.init_solver_state_ws(laplacians, &mut ws)?;
         let mut history: Vec<IterationStats> = Vec::with_capacity(cfg.max_iter);
         let mut converged = false;
 
@@ -285,8 +288,21 @@ impl Umsc {
     /// (square, equal sizes, `c ≤ n`) — [`Umsc::fit_laplacians`] performs
     /// that validation before dispatching here.
     pub fn init_solver_state(&self, laplacians: &[Matrix]) -> Result<SolverState> {
+        self.init_solver_state_ws(laplacians, &mut SolverWorkspace::new())
+    }
+
+    /// [`Umsc::init_solver_state`] through a caller-provided workspace: the
+    /// warm-start re-weighting sweeps carry their Ritz subspace in the
+    /// workspace's block-Lanczos state, so every sweep after the first
+    /// re-converges from the previous sweep's eigenbasis instead of from
+    /// scratch (see [`EigSolver`]).
+    pub fn init_solver_state_ws(
+        &self,
+        laplacians: &[Matrix],
+        ws: &mut SolverWorkspace,
+    ) -> Result<SolverState> {
         let c = self.config.num_clusters;
-        let f = self.warm_start_embedding(laplacians)?;
+        let f = self.warm_start_embedding(laplacians, ws)?;
         let r = init_rotation(&f)?;
         let labels = discretize_rows(&f.matmul(&r));
         let y = labels_to_indicator(&labels, c);
@@ -375,7 +391,11 @@ impl Umsc {
     fn fit_two_stage(&self, laplacians: &[Matrix], restarts: usize) -> Result<UmscResult> {
         let cfg = &self.config;
         let c = cfg.num_clusters;
-        let mut f = spectral_embedding(&mean_laplacian(laplacians), c, cfg.seed)?;
+        let n = laplacians[0].rows();
+        let mut eig = BlanczosWorkspace::new();
+        let mut f = Matrix::zeros(n, c);
+        let mut a = mean_laplacian(laplacians);
+        self.embedding_solve(&a, &mut f, &mut eig)?;
         let mut history: Vec<IterationStats> = Vec::with_capacity(cfg.max_iter);
         let mut converged = false;
         let mut weights = vec![1.0 / laplacians.len() as f64; laplacians.len()];
@@ -383,8 +403,8 @@ impl Umsc {
         for _iter in 0..cfg.max_iter {
             let traces = view_traces(laplacians, &f);
             weights = self.weights_from_traces(&traces);
-            let a = weighted_laplacian(laplacians, &weights);
-            f = spectral_embedding(&a, c, cfg.seed)?;
+            weighted_laplacian_into(laplacians, &weights, &mut a);
+            self.embedding_solve(&a, &mut f, &mut eig)?;
 
             let traces = view_traces(laplacians, &f);
             let emb = self.embedding_objective(&traces);
@@ -431,11 +451,22 @@ impl Umsc {
     /// Solves the relaxed (λ→0) problem: the re-weighted spectral
     /// embedding iterated to stationarity (a handful of eigen-solves; with
     /// non-adaptive weights a single solve is exact).
-    fn warm_start_embedding(&self, laplacians: &[Matrix]) -> Result<Matrix> {
+    ///
+    /// The eigensolver behind each sweep is chosen by [`UmscConfig::eig`];
+    /// under the default `Auto` policy the first solve is cold and every
+    /// re-weighting sweep after it warm-starts block Lanczos from the
+    /// previous sweep's Ritz subspace (carried in `ws.eig`). The fused
+    /// Laplacian of each sweep is accumulated into `ws.a`, so the loop
+    /// body stops allocating O(n²) per round.
+    fn warm_start_embedding(&self, laplacians: &[Matrix], ws: &mut SolverWorkspace) -> Result<Matrix> {
         let _span = umsc_obs::span!("solve.warm_start");
         let cfg = &self.config;
         let c = cfg.num_clusters;
-        let mut f = spectral_embedding(&mean_laplacian(laplacians), c, cfg.seed)?;
+        let n = laplacians[0].rows();
+        ws.ensure(n, c, true);
+        let mut f = Matrix::zeros(n, c);
+        let a0 = mean_laplacian(laplacians);
+        self.embedding_solve(&a0, &mut f, &mut ws.eig)?;
         let rounds = match cfg.weighting {
             Weighting::Auto => cfg.max_iter.max(1),
             Weighting::Uniform | Weighting::Fixed(_) => 1,
@@ -444,8 +475,8 @@ impl Umsc {
         for _ in 0..rounds {
             let traces = view_traces(laplacians, &f);
             let weights = self.weights_from_traces(&traces);
-            let a = weighted_laplacian(laplacians, &weights);
-            f = spectral_embedding(&a, c, cfg.seed)?;
+            weighted_laplacian_into(laplacians, &weights, &mut ws.a);
+            self.embedding_solve(&ws.a, &mut f, &mut ws.eig)?;
             let obj = self.embedding_objective(&view_traces(laplacians, &f));
             if (prev_obj - obj).abs() <= cfg.tol * (1.0 + prev_obj.abs()) {
                 break;
@@ -453,6 +484,60 @@ impl Umsc {
             prev_obj = obj;
         }
         Ok(f)
+    }
+
+    /// One embedding eigensolve of the dense fused Laplacian `a` under the
+    /// configured [`EigSolver`] policy, writing the `c` smallest
+    /// eigenvectors into `f`.
+    ///
+    /// `eig` is the persistent block-Lanczos state: when it is warm (a
+    /// subspace of the right shape was left by a previous solve or seeded
+    /// via [`BlanczosWorkspace::seed_from`]), the `Auto` and `Blanczos`
+    /// policies restart from it — the whole point of carrying the
+    /// workspace across sweeps — and the solve runs under an `eig.warm`
+    /// span for the trace.
+    fn embedding_solve(&self, a: &Matrix, f: &mut Matrix, eig: &mut BlanczosWorkspace) -> Result<()> {
+        let cfg = &self.config;
+        let c = cfg.num_clusters;
+        let n = a.rows();
+        match cfg.eig {
+            EigSolver::Auto => {
+                if eig.is_warm() {
+                    let _g = umsc_obs::span!("eig.warm");
+                    let bcfg = BlanczosConfig { seed: cfg.seed, ..Default::default() };
+                    blanczos_smallest_ws(a, c, &bcfg, eig)?;
+                    copy_embedding(f, eig.subspace());
+                } else {
+                    *f = spectral_embedding(a, c, cfg.seed)?;
+                    eig.seed_from(f);
+                }
+            }
+            EigSolver::Blanczos => {
+                let _g = eig.is_warm().then(|| umsc_obs::span!("eig.warm"));
+                let bcfg = BlanczosConfig { seed: cfg.seed, ..Default::default() };
+                blanczos_smallest_ws(a, c, &bcfg, eig)?;
+                copy_embedding(f, eig.subspace());
+            }
+            EigSolver::Lanczos => {
+                let lcfg = LanczosConfig {
+                    seed: cfg.seed,
+                    initial_subspace: (2 * c + 20).min(n),
+                    ..Default::default()
+                };
+                let (_, vecs) = lanczos_smallest(a, c, &lcfg)?;
+                copy_embedding(f, &vecs);
+            }
+            EigSolver::Jacobi => {
+                let (_, vecs) = jacobi_eigen(a)?;
+                if f.shape() != (n, c) {
+                    *f = Matrix::zeros(n, c);
+                }
+                for j in 0..c {
+                    f.set_col(j, &vecs.col(j));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Closed-form weights from the per-view embedding traces.
@@ -531,6 +616,16 @@ fn weighted_laplacian_into(laplacians: &[Matrix], weights: &[f64], a: &mut Matri
         a.axpy(w, l);
     }
     a.symmetrize_mut();
+}
+
+/// Copies an eigensolver's subspace into the embedding buffer without
+/// reallocating when shapes already match (the warm-sweep steady state).
+pub(crate) fn copy_embedding(f: &mut Matrix, sub: &Matrix) {
+    if f.shape() == sub.shape() {
+        f.as_mut_slice().copy_from_slice(sub.as_slice());
+    } else {
+        *f = sub.clone();
+    }
 }
 
 /// Writes the effective indicator — `Y` itself, or the scaled
@@ -831,6 +926,33 @@ mod tests {
         let b = Umsc::new(UmscConfig::new(3).with_seed(5)).fit(&data).unwrap();
         assert_eq!(a.labels, b.labels);
         assert_eq!(a.history.len(), b.history.len());
+    }
+
+    #[test]
+    fn eig_policies_agree_on_partition() {
+        // Every eigensolver policy spans the same warm-start subspace up
+        // to numerical noise, so the fitted partitions must coincide on
+        // well-separated data.
+        let data = easy_gmm(16);
+        let base = Umsc::new(UmscConfig::new(3)).fit(&data).unwrap();
+        for eig in [EigSolver::Lanczos, EigSolver::Blanczos, EigSolver::Jacobi] {
+            let res = Umsc::new(UmscConfig::new(3).with_eig(eig)).fit(&data).unwrap();
+            assert!(
+                umsc_metrics::nmi(&base.labels, &res.labels) > 0.99,
+                "{eig:?} partition diverges from Auto"
+            );
+        }
+    }
+
+    #[test]
+    fn two_stage_runs_under_blanczos_policy() {
+        let data = easy_gmm(17);
+        let cfg = UmscConfig::new(3)
+            .with_discretization(Discretization::KMeans { restarts: 3 })
+            .with_eig(EigSolver::Blanczos);
+        let res = Umsc::new(cfg).fit(&data).unwrap();
+        let acc = clustering_accuracy(&res.labels, &data.labels);
+        assert!(acc > 0.9, "two-stage blanczos ACC {acc}");
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //!   O(nnz) per application, weights swappable in place per sweep;
 //! * traces `tr(Fᵀ L_v F)` via one sparse×dense product per view —
 //!   O(nnz·c);
-//! * warm-start embedding via Lanczos on the fused operator;
+//! * warm-start embedding via Lanczos on the fused operator, with every
+//!   re-weighting sweep after the first warm-starting block Lanczos from
+//!   the previous sweep's Ritz subspace (see [`crate::EigSolver`]);
 //! * GPI F-step through [`gpi_stiefel_op_ws`] with the spectral bound
 //!   `η = 2Σ_v w_v` (normalized Laplacians satisfy `L ⪯ 2I`);
 //! * R/Y steps identical to the dense path (they only touch `n × c`).
@@ -22,7 +24,7 @@
 //! dense path: feeding the same Laplacians through both produces the same
 //! labels (asserted by tests).
 
-use crate::config::Weighting;
+use crate::config::{EigSolver, Weighting};
 use crate::error::UmscError;
 use crate::gpi::gpi_stiefel_op_ws;
 use crate::indicator::{
@@ -30,13 +32,16 @@ use crate::indicator::{
     labels_to_indicator_into,
 };
 use crate::solver::{
-    b_matrix_into, effective_indicator, frobenius_distance, init_rotation, row_normalized_into,
-    IterationStats, SolverState, StepStats, Umsc, UmscResult,
+    b_matrix_into, copy_embedding, effective_indicator, frobenius_distance, init_rotation,
+    row_normalized_into, IterationStats, SolverState, StepStats, Umsc, UmscResult,
 };
 use crate::workspace::SolverWorkspace;
 use crate::Result;
 use umsc_graph::CsrMatrix;
-use umsc_linalg::{lanczos_smallest, procrustes_into, LanczosConfig, LinOp, Matrix};
+use umsc_linalg::{
+    blanczos_smallest_ws, lanczos_smallest, procrustes_into, BlanczosConfig, BlanczosWorkspace,
+    LanczosConfig, LinOp, Matrix,
+};
 use umsc_op::{CsrOp, WeightedSum};
 
 /// The fused operator `Σ_v w_v L_v` over borrowed CSR Laplacians — the
@@ -95,19 +100,33 @@ impl Umsc {
             });
         }
 
+        if cfg.eig == EigSolver::Jacobi {
+            return Err(UmscError::InvalidInput(
+                "EigSolver::Jacobi needs a dense matrix; the sparse path supports auto/lanczos/blanczos".into(),
+            ));
+        }
+
         let obs = umsc_obs::enabled();
         let fit_start = obs.then(std::time::Instant::now);
 
-        // Warm start: relaxed (λ→0) solution via re-weighted Lanczos.
+        // Warm start: relaxed (λ→0) solution via re-weighted eigensolves
+        // on ONE fused operator whose weights are swapped in place. Under
+        // the default `Auto` policy the first solve is scalar Lanczos and
+        // every sweep after it warm-starts block Lanczos from the carried
+        // Ritz subspace (see [`EigSolver`]).
         let warm_span = umsc_obs::span!("solve.warm_start");
         let nviews = laplacians.len();
         let mut weights = self.initial_weights(nviews);
-        let mut f = sparse_embedding(laplacians, &weights, c, cfg.seed)?;
+        let mut fused = sparse_fused_operator(laplacians, &weights);
+        let mut eig = BlanczosWorkspace::new();
+        let mut f = Matrix::zeros(n, c);
+        sparse_embedding_solve(&fused, c, cfg.eig, cfg.seed, &mut eig, &mut f)?;
         if matches!(cfg.weighting, Weighting::Auto) {
             let mut prev = f64::INFINITY;
             for _ in 0..cfg.max_iter.max(1) {
                 weights = auto_weights(&sparse_traces(laplacians, &f));
-                f = sparse_embedding(laplacians, &weights, c, cfg.seed)?;
+                fused.set_weights(&weights);
+                sparse_embedding_solve(&fused, c, cfg.eig, cfg.seed, &mut eig, &mut f)?;
                 let obj: f64 = sparse_traces(laplacians, &f).iter().map(|t| t.max(0.0).sqrt()).sum();
                 if (prev - obj).abs() <= cfg.tol * (1.0 + prev.abs()) {
                     break;
@@ -125,11 +144,12 @@ impl Umsc {
         let mut history: Vec<IterationStats> = Vec::with_capacity(cfg.max_iter);
         let mut converged = false;
 
-        // One fused operator for the whole descent; the w-step swaps its
-        // weights in place. All per-iteration intermediates live in `ws`:
-        // the loop body performs no heap allocations once the buffers are
-        // warm (the history push aside), mirroring the dense path.
-        let mut fused = sparse_fused_operator(laplacians, &st.weights);
+        // The same fused operator services the whole descent; the w-step
+        // swaps its weights in place. All per-iteration intermediates live
+        // in `ws`: the loop body performs no heap allocations once the
+        // buffers are warm (the history push aside), mirroring the dense
+        // path.
+        fused.set_weights(&st.weights);
         let mut ws = SolverWorkspace::new();
 
         for _iter in 0..cfg.max_iter {
@@ -302,11 +322,45 @@ fn normalized(w: &[f64]) -> Vec<f64> {
     }
 }
 
-fn sparse_embedding(laplacians: &[CsrMatrix], weights: &[f64], c: usize, seed: u64) -> Result<Matrix> {
-    let op = sparse_fused_operator(laplacians, weights);
-    let cfg = LanczosConfig { seed, initial_subspace: (2 * c + 20).min(op.dim()), ..Default::default() };
-    let (_, vecs) = lanczos_smallest(&op, c, &cfg)?;
-    Ok(vecs)
+/// One embedding eigensolve on the fused sparse operator under the
+/// configured policy. `Jacobi` is rejected before the warm loop starts,
+/// so it never reaches here. Warm block solves (a carried subspace exists)
+/// run under an `eig.warm` span for the trace.
+fn sparse_embedding_solve(
+    op: &WeightedSum<CsrOp<'_>>,
+    c: usize,
+    kind: EigSolver,
+    seed: u64,
+    eig: &mut BlanczosWorkspace,
+    f: &mut Matrix,
+) -> Result<()> {
+    let scalar_lanczos = |f: &mut Matrix| -> Result<()> {
+        let cfg =
+            LanczosConfig { seed, initial_subspace: (2 * c + 20).min(op.dim()), ..Default::default() };
+        let (_, vecs) = lanczos_smallest(op, c, &cfg)?;
+        copy_embedding(f, &vecs);
+        Ok(())
+    };
+    match kind {
+        EigSolver::Auto => {
+            if eig.is_warm() {
+                let _g = umsc_obs::span!("eig.warm");
+                blanczos_smallest_ws(op, c, &BlanczosConfig { seed, ..Default::default() }, eig)?;
+                copy_embedding(f, eig.subspace());
+            } else {
+                scalar_lanczos(f)?;
+                eig.seed_from(f);
+            }
+        }
+        EigSolver::Blanczos => {
+            let _g = eig.is_warm().then(|| umsc_obs::span!("eig.warm"));
+            blanczos_smallest_ws(op, c, &BlanczosConfig { seed, ..Default::default() }, eig)?;
+            copy_embedding(f, eig.subspace());
+        }
+        EigSolver::Lanczos => scalar_lanczos(f)?,
+        EigSolver::Jacobi => unreachable!("Jacobi is rejected before the sparse warm loop"),
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -391,6 +445,21 @@ mod tests {
         assert!(model.fit_laplacians_sparse(&bad).is_err());
         let one = vec![CsrMatrix::identity(3)];
         assert!(Umsc::new(UmscConfig::new(9)).fit_laplacians_sparse(&one).is_err());
+    }
+
+    #[test]
+    fn eig_policies_agree_and_jacobi_rejected() {
+        let data = gmm(25, 11);
+        let ls = sparse_laplacians(&data, 10);
+        let base = Umsc::new(UmscConfig::new(3)).fit_laplacians_sparse(&ls).unwrap();
+        for eig in [crate::EigSolver::Lanczos, crate::EigSolver::Blanczos] {
+            let res =
+                Umsc::new(UmscConfig::new(3).with_eig(eig)).fit_laplacians_sparse(&ls).unwrap();
+            assert!(nmi(&base.labels, &res.labels) > 0.99, "{eig:?} partition diverges");
+        }
+        let jac = Umsc::new(UmscConfig::new(3).with_eig(crate::EigSolver::Jacobi))
+            .fit_laplacians_sparse(&ls);
+        assert!(matches!(jac, Err(UmscError::InvalidInput(_))), "Jacobi must be rejected");
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! what it reads.
 
 use crate::gpi::GpiWorkspace;
-use umsc_linalg::{Matrix, SvdScratch};
+use umsc_linalg::{BlanczosWorkspace, Matrix, SvdScratch};
 
 /// Reallocates `m` only when its shape changes (contents unspecified).
 pub(crate) fn ensure_shape(m: &mut Matrix, rows: usize, cols: usize) {
@@ -48,6 +48,9 @@ pub struct SolverWorkspace {
     pub(crate) f_next: Matrix,
     /// GPI inner-loop buffers (dense path).
     pub(crate) gpi: GpiWorkspace,
+    /// Block-Lanczos state: the Ritz subspace carried across embedding
+    /// sweeps (warm starts) plus its grow-only scratch.
+    pub(crate) eig: BlanczosWorkspace,
     /// `c × c` SVD scratch for the R-step Procrustes.
     pub(crate) svd_r: SvdScratch,
     /// Per-view traces `tr(Fᵀ L⁽ᵛ⁾ F)`.
@@ -75,6 +78,7 @@ impl SolverWorkspace {
             f_tilde: Matrix::zeros(0, 0),
             f_next: Matrix::zeros(0, 0),
             gpi: GpiWorkspace::new(),
+            eig: BlanczosWorkspace::new(),
             svd_r: SvdScratch::new(),
             traces: Vec::new(),
             sizes: Vec::new(),

@@ -18,7 +18,7 @@ use umsc_core::{
     SolverState, SolverWorkspace, Umsc, UmscConfig,
 };
 use umsc_data::synth::{MultiViewGmm, ViewSpec};
-use umsc_linalg::Matrix;
+use umsc_linalg::{blanczos_smallest_ws, BlanczosConfig, BlanczosWorkspace, Matrix};
 use umsc_rt::alloc_track::{measure, CountingAlloc};
 
 #[global_allocator]
@@ -93,6 +93,39 @@ fn one_step_solve_sparse_is_allocation_free_once_warm() {
     assert_eq!(
         stats.allocations, 0,
         "warm one_step_solve_sparse touched the heap {} times",
+        stats.allocations
+    );
+}
+
+#[test]
+fn warm_blanczos_solve_is_allocation_free() {
+    std::env::set_var("UMSC_THREADS", "1");
+
+    // The exact shape of a solver sweep: a fused dense Laplacian whose
+    // view weights drift slightly between eigensolves.
+    let data = gmm(20, 10);
+    let model = Umsc::new(UmscConfig::new(3));
+    let laplacians = build_view_laplacians(&data, &model.config().graph_config()).unwrap();
+    let n = laplacians[0].rows();
+    let mut a = Matrix::zeros(n, n);
+    for l in &laplacians {
+        a.axpy(1.0 / laplacians.len() as f64, l);
+    }
+
+    let cfg = BlanczosConfig::default();
+    let mut ws = BlanczosWorkspace::new();
+    // Cold solve sizes every grow-only buffer; a drifted warm solve
+    // exercises the full warm path (expansion, reorth, projected solves)
+    // inside the already-reserved capacity.
+    blanczos_smallest_ws(&a, 3, &cfg, &mut ws).unwrap();
+    a.axpy(0.02, &laplacians[0]);
+    blanczos_smallest_ws(&a, 3, &cfg, &mut ws).unwrap();
+
+    a.axpy(0.02, &laplacians[1]);
+    let stats = measure(|| blanczos_smallest_ws(&a, 3, &cfg, &mut ws).unwrap());
+    assert_eq!(
+        stats.allocations, 0,
+        "warm blanczos solve touched the heap {} times",
         stats.allocations
     );
 }

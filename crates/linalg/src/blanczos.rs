@@ -1,0 +1,1033 @@
+//! Warm-started block Lanczos eigensolver with deflation.
+//!
+//! [`lanczos_smallest`](crate::lanczos_smallest) rebuilds its Krylov basis
+//! from a random vector on every call, which is exactly wrong for the
+//! unified solver's re-weighting loop: sweep k+1 solves an eigenproblem
+//! whose operator differs from sweep k only through slightly-updated view
+//! weights, so sweep k's Ritz vectors are a near-perfect starting subspace.
+//! [`blanczos_smallest_ws`] keeps that subspace alive in a
+//! [`BlanczosWorkspace`] carried across calls: a warm solve starts from the
+//! previous Ritz block, usually converging in one or two block iterations
+//! instead of a cold Krylov build.
+//!
+//! The method is an explicit block Rayleigh–Ritz iteration:
+//!
+//! * an orthonormal basis `V` (block Krylov, block size `b ≈ k`) and its
+//!   image `AV` are held column-wise in flat grow-only buffers;
+//! * block matvecs are batched through [`LinOp::apply_block_into`], so the
+//!   `CsrOp`/`WeightedSum`/`DenseOp` panel kernels do one pass per block
+//!   instead of one per vector;
+//! * the projected matrix `T = VᵀAV` is solved by an in-place cyclic
+//!   Jacobi sweep (same rotation math as [`crate::jacobi_eigen`], flat
+//!   storage so the warm path never allocates);
+//! * new directions come from `A·(last block)` with selective
+//!   reorthogonalization (a second Gram–Schmidt pass only when the first
+//!   one cancels mass — the DGK criterion) against both the active basis
+//!   and a held **deflation basis** of locked, converged Ritz vectors;
+//! * when the basis hits its cap the iteration does an operator-free thick
+//!   restart: restart vectors are linear combinations of `V`, so their
+//!   images are the same combinations of `AV` and no extra applies are
+//!   spent.
+//!
+//! Exactness when `span(V) ⊕ span(D)` reaches `ℝⁿ` makes the API total, as
+//! with the scalar solver; the basis cap grows by one block per restart so
+//! that limit is always reachable.
+//!
+//! Every scratch buffer lives in the workspace and is grow-only: once a
+//! workspace has serviced a solve at a given shape, repeated (warm) solves
+//! never touch the allocator — verified by the counting-allocator test in
+//! `umsc-core`'s `tests/alloc_free.rs`.
+
+use crate::error::LinalgError;
+use crate::lanczos::SplitMix64;
+use crate::matrix::Matrix;
+use crate::ops::{axpy, dot, norm2};
+use crate::Result;
+use umsc_op::LinOp;
+
+/// Maximum cyclic Jacobi sweeps for the projected eigenproblem.
+const MAX_SWEEPS: usize = 100;
+
+/// Relative norm drop below which a candidate counts as linearly dependent.
+const BREAKDOWN_TOL: f64 = 1e-12;
+
+/// DGK reorthogonalization threshold: repeat the Gram–Schmidt pass when a
+/// candidate lost more than `1/√2` of its norm to the projection.
+const REORTH_ETA: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+/// Tuning knobs for [`blanczos_smallest_ws`].
+#[derive(Debug, Clone)]
+pub struct BlanczosConfig {
+    /// Convergence tolerance on the true Ritz residual `‖A z − θ z‖`
+    /// relative to the spectral scale.
+    pub tol: f64,
+    /// Lock (deflate) a converged Ritz pair once its residual drops below
+    /// `defl_tol` relative to the spectral scale. Tighter than `tol` so
+    /// only fully-converged pairs leave the active basis.
+    pub defl_tol: f64,
+    /// Block size `b`; `0` picks the number of wanted pairs `k`.
+    pub block_size: usize,
+    /// Basis cap before a thick restart; `0` picks `2k + 2b + 10`.
+    /// Clamped to `[k + b, n]`; grows by `b` per restart.
+    pub max_basis: usize,
+    /// Seed for the deterministic cold-start block.
+    pub seed: u64,
+}
+
+impl Default for BlanczosConfig {
+    fn default() -> Self {
+        BlanczosConfig { tol: 1e-8, defl_tol: 1e-10, block_size: 0, max_basis: 0, seed: 0x5eed }
+    }
+}
+
+/// Persistent state for [`blanczos_smallest_ws`]: the carried Ritz
+/// subspace plus every scratch buffer the solve needs, all grow-only.
+#[derive(Debug, Clone)]
+pub struct BlanczosWorkspace {
+    /// Ritz vectors of the last solve (`n × k`, columns ascending by
+    /// eigenvalue). Doubles as the warm-start block of the next solve.
+    subspace: Matrix,
+    /// Ritz values of the last solve, ascending.
+    values: Vec<f64>,
+    /// Whether `subspace` holds a usable previous solution.
+    warm: bool,
+
+    // Grow-only scratch. Basis buffers store columns contiguously:
+    // column j occupies `j*n..(j+1)*n`.
+    v: Vec<f64>,
+    av: Vec<f64>,
+    dv: Vec<f64>,
+    dav: Vec<f64>,
+    dvals: Vec<f64>,
+    t: Vec<f64>,
+    tw: Vec<f64>,
+    te: Vec<f64>,
+    theta: Vec<f64>,
+    order: Vec<usize>,
+    rnorms: Vec<f64>,
+    panel_in: Vec<f64>,
+    panel_out: Vec<f64>,
+    work: Vec<f64>,
+    work2: Vec<f64>,
+    rv: Vec<f64>,
+    rav: Vec<f64>,
+    vals_out: Vec<f64>,
+    order_out: Vec<usize>,
+
+    iters: usize,
+    restarts: usize,
+    deflated: usize,
+}
+
+impl Default for BlanczosWorkspace {
+    fn default() -> Self {
+        BlanczosWorkspace {
+            subspace: Matrix::zeros(0, 0),
+            values: Vec::new(),
+            warm: false,
+            v: Vec::new(),
+            av: Vec::new(),
+            dv: Vec::new(),
+            dav: Vec::new(),
+            dvals: Vec::new(),
+            t: Vec::new(),
+            tw: Vec::new(),
+            te: Vec::new(),
+            theta: Vec::new(),
+            order: Vec::new(),
+            rnorms: Vec::new(),
+            panel_in: Vec::new(),
+            panel_out: Vec::new(),
+            work: Vec::new(),
+            work2: Vec::new(),
+            rv: Vec::new(),
+            rav: Vec::new(),
+            vals_out: Vec::new(),
+            order_out: Vec::new(),
+            iters: 0,
+            restarts: 0,
+            deflated: 0,
+        }
+    }
+}
+
+impl BlanczosWorkspace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Eigenvalues of the last solve, ascending.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Eigenvectors of the last solve as columns of an `n × k` matrix.
+    pub fn subspace(&self) -> &Matrix {
+        &self.subspace
+    }
+
+    /// Whether the workspace carries a previous solution to warm-start from.
+    pub fn is_warm(&self) -> bool {
+        self.warm
+    }
+
+    /// Adopts an externally computed embedding (e.g. the cold sweep's
+    /// dense eigensolve) as the warm-start block for the next solve.
+    pub fn seed_from(&mut self, f: &Matrix) {
+        if self.subspace.shape() != f.shape() {
+            self.subspace = Matrix::zeros(f.rows(), f.cols());
+        }
+        self.subspace.as_mut_slice().copy_from_slice(f.as_slice());
+        self.warm = true;
+    }
+
+    /// Drops the carried subspace; the next solve starts cold.
+    pub fn invalidate(&mut self) {
+        self.warm = false;
+    }
+
+    /// Block iterations spent by the last solve.
+    pub fn last_iters(&self) -> usize {
+        self.iters
+    }
+
+    /// Thick restarts taken by the last solve.
+    pub fn last_restarts(&self) -> usize {
+        self.restarts
+    }
+
+    /// Ritz pairs locked into the deflation basis by the last solve.
+    pub fn last_deflated(&self) -> usize {
+        self.deflated
+    }
+}
+
+/// Computes the `k` smallest eigenpairs of symmetric `op`, warm-starting
+/// from (and leaving the result in) `ws`.
+///
+/// Results land in [`BlanczosWorkspace::values`] /
+/// [`BlanczosWorkspace::subspace`]; a repeat call at the same shape reuses
+/// them as the starting block and performs no heap allocation.
+///
+/// # Panics
+/// Panics if `k == 0` or `k > op.dim()`.
+pub fn blanczos_smallest_ws(
+    op: &dyn LinOp,
+    k: usize,
+    cfg: &BlanczosConfig,
+    ws: &mut BlanczosWorkspace,
+) -> Result<()> {
+    let n = op.dim();
+    assert!(k >= 1, "blanczos_smallest: k must be >= 1");
+    assert!(k <= n, "blanczos_smallest: requested {k} eigenpairs of a {n}-dim operator");
+
+    let _span = umsc_obs::span!("blanczos.solve");
+    umsc_obs::counter!("blanczos.solves", 1);
+
+    let b = if cfg.block_size == 0 { k } else { cfg.block_size }.clamp(1, n);
+    let mut m_cap =
+        if cfg.max_basis == 0 { 2 * k + 2 * b + 10 } else { cfg.max_basis }.max(k + b).min(n);
+
+    let warm = ws.warm && ws.subspace.shape() == (n, k);
+    ws.iters = 0;
+    ws.restarts = 0;
+    ws.deflated = 0;
+
+    let BlanczosWorkspace {
+        subspace,
+        values,
+        warm: warm_flag,
+        v,
+        av,
+        dv,
+        dav,
+        dvals,
+        t,
+        tw,
+        te,
+        theta,
+        order,
+        rnorms,
+        panel_in,
+        panel_out,
+        work,
+        work2,
+        rv,
+        rav,
+        vals_out,
+        order_out,
+        iters,
+        restarts,
+        deflated,
+    } = ws;
+
+    let mut rng = SplitMix64::new(cfg.seed);
+    v.clear();
+    av.clear();
+    dv.clear();
+    dav.clear();
+    dvals.clear();
+    v.reserve(n * m_cap);
+    av.reserve(n * m_cap);
+    dv.reserve(n * k);
+    dav.reserve(n * k);
+    dvals.reserve(k);
+    let mut ld = m_cap;
+    t.resize(ld * ld, 0.0);
+    work.resize(n, 0.0);
+    work2.resize(n, 0.0);
+
+    let mut s = 0usize; // active basis columns
+    let mut d = 0usize; // locked (deflated) columns
+
+    // ---- Start block: previous Ritz vectors when warm, random when cold.
+    let start_width = if warm { k } else { b };
+    for j in 0..start_width {
+        if warm {
+            for (r, x) in work.iter_mut().enumerate() {
+                *x = subspace[(r, j)];
+            }
+        } else {
+            random_fill(work, &mut rng);
+        }
+        let mut tries = 0usize;
+        loop {
+            if orthonormalize(work, n, &dv[..d * n], &v[..s * n]) > 0.0 {
+                v.extend_from_slice(work);
+                s += 1;
+                break;
+            }
+            if s >= n || tries >= 3 {
+                break;
+            }
+            random_fill(work, &mut rng);
+            tries += 1;
+        }
+    }
+    if s == 0 {
+        // Pathological degenerate start (all candidates collapsed): fall
+        // back to the first canonical basis vector.
+        work.fill(0.0);
+        work[0] = 1.0;
+        v.extend_from_slice(work);
+        s = 1;
+    }
+    apply_new_block(op, v, n, 0, s, panel_in, panel_out, av);
+    extend_projection(t, ld, v, av, n, 0, s);
+    // Generator block: the columns whose images seed the next expansion.
+    let mut gen_lo = 0usize;
+    let mut gen_hi = s;
+
+    loop {
+        *iters += 1;
+        umsc_obs::counter!("blanczos.iters", 1);
+
+        // ---- Rayleigh–Ritz on the projected matrix T = VᵀAV.
+        tw.resize(s * s, 0.0);
+        te.resize(s * s, 0.0);
+        for i in 0..s {
+            tw[i * s..(i + 1) * s].copy_from_slice(&t[i * ld..i * ld + s]);
+        }
+        jacobi_flat(tw, te, s)?;
+        theta.resize(s, 0.0);
+        for (i, th) in theta.iter_mut().enumerate() {
+            *th = tw[i * s + i];
+        }
+        order.resize(s, 0);
+        for (i, o) in order.iter_mut().enumerate() {
+            *o = i;
+        }
+        order.sort_unstable_by(|&a, &bb| {
+            theta[a].partial_cmp(&theta[bb]).unwrap_or(std::cmp::Ordering::Equal)
+        });
+
+        let kk = k - d;
+        let scale = theta
+            .iter()
+            .chain(dvals.iter())
+            .fold(0.0f64, |m, &x| m.max(x.abs()))
+            .max(1.0);
+        let exact = s + d >= n;
+
+        if s >= kk {
+            // True residuals ‖AV y − θ V y‖ for the wanted pairs (cheap:
+            // AV is stored, so no extra operator applies).
+            rnorms.resize(kk, 0.0);
+            let mut worst = 0.0f64;
+            for p in 0..kk {
+                let idx = order[p];
+                work.fill(0.0);
+                for i in 0..s {
+                    let c = te[i * s + idx];
+                    if c != 0.0 {
+                        axpy(c, &av[i * n..(i + 1) * n], work);
+                        axpy(-theta[idx] * c, &v[i * n..(i + 1) * n], work);
+                    }
+                }
+                rnorms[p] = norm2(work);
+                worst = worst.max(rnorms[p]);
+            }
+
+            if worst <= cfg.tol * scale || exact {
+                assemble_outputs(AssembleArgs {
+                    subspace,
+                    values,
+                    v,
+                    dv,
+                    dvals,
+                    te,
+                    theta,
+                    order,
+                    work,
+                    vals_out,
+                    order_out,
+                    n,
+                    k,
+                    s,
+                    d,
+                });
+                *warm_flag = true;
+                return Ok(());
+            }
+
+            // ---- Deflation: lock fully-converged leading pairs so the
+            // active iteration stops spending work on them. Always keep at
+            // least one wanted pair active.
+            let mut lock = 0usize;
+            while lock + 1 < kk && rnorms[lock] <= cfg.defl_tol * scale {
+                lock += 1;
+            }
+            if lock > 0 {
+                for p in 0..lock {
+                    ritz_pair_into(work, work2, v, av, te, n, s, order[p]);
+                    if orthonormalize_pair(work, work2, n, &dv[..d * n], &dav[..d * n], &[], &[])
+                        > 0.0
+                    {
+                        dv.extend_from_slice(work);
+                        dav.extend_from_slice(work2);
+                        dvals.push(theta[order[p]]);
+                        d += 1;
+                        *deflated += 1;
+                        umsc_obs::counter!("blanczos.deflated", 1);
+                    }
+                }
+                // Rebuild the active basis from the surviving Ritz vectors
+                // (skipping the locked prefix) — an operator-free restart.
+                let keep = ((k - d) + b).min(s - lock);
+                s = thick_restart(RestartArgs {
+                    v,
+                    av,
+                    rv,
+                    rav,
+                    t,
+                    te,
+                    order,
+                    work,
+                    work2,
+                    dv: &dv[..d * n],
+                    dav: &dav[..d * n],
+                    n,
+                    s,
+                    ld,
+                    skip: lock,
+                    keep,
+                });
+                gen_lo = 0;
+                gen_hi = s;
+            }
+        }
+
+        // ---- Capacity: thick-restart down to the wanted pairs plus one
+        // block of extras, then let the cap grow so stagnation cannot loop.
+        if s + b > m_cap {
+            let keep = ((k - d) + b).min(s);
+            if keep < s {
+                s = thick_restart(RestartArgs {
+                    v,
+                    av,
+                    rv,
+                    rav,
+                    t,
+                    te,
+                    order,
+                    work,
+                    work2,
+                    dv: &dv[..d * n],
+                    dav: &dav[..d * n],
+                    n,
+                    s,
+                    ld,
+                    skip: 0,
+                    keep,
+                });
+                gen_lo = 0;
+                gen_hi = s;
+                *restarts += 1;
+                umsc_obs::counter!("blanczos.restarts", 1);
+            }
+            m_cap = (m_cap + b).min(n);
+            if m_cap > ld {
+                // Re-layout T for the larger leading dimension (backward
+                // copy: destinations never precede their sources).
+                t.resize(m_cap * m_cap, 0.0);
+                for i in (0..s).rev() {
+                    for j in (0..s).rev() {
+                        t[i * m_cap + j] = t[i * ld + j];
+                    }
+                }
+                ld = m_cap;
+            }
+        }
+
+        // ---- Expansion: next block candidates are A·(generator block),
+        // orthogonalized against the deflation basis and the active basis.
+        let width = b.min(n - s - d);
+        let s_old = s;
+        let gen_len = (gen_hi - gen_lo).max(1);
+        for j in 0..width {
+            let src = gen_lo + (j % gen_len);
+            work.copy_from_slice(&av[src * n..(src + 1) * n]);
+            if orthonormalize(work, n, &dv[..d * n], &v[..s * n]) > 0.0 {
+                v.extend_from_slice(work);
+                s += 1;
+                continue;
+            }
+            // Breakdown: candidate lies in the span so far. Restart the
+            // direction with a random vector, as the scalar solver does.
+            random_fill(work, &mut rng);
+            if orthonormalize(work, n, &dv[..d * n], &v[..s * n]) > 0.0 {
+                v.extend_from_slice(work);
+                s += 1;
+            }
+        }
+        let nb = s - s_old;
+        if nb == 0 {
+            // Could not grow the basis at all: span(V) ⊕ span(D) is the
+            // whole (numerical) space, so the current Ritz pairs are exact.
+            assemble_outputs(AssembleArgs {
+                subspace,
+                values,
+                v,
+                dv,
+                dvals,
+                te,
+                theta,
+                order,
+                work,
+                vals_out,
+                order_out,
+                n,
+                k,
+                s,
+                d,
+            });
+            *warm_flag = true;
+            return Ok(());
+        }
+        apply_new_block(op, v, n, s_old, nb, panel_in, panel_out, av);
+        extend_projection(t, ld, v, av, n, s_old, nb);
+        gen_lo = s_old;
+        gen_hi = s;
+    }
+}
+
+/// Convenience wrapper: one-shot solve with a fresh workspace.
+///
+/// Returns `(eigenvalues ascending, eigenvectors as columns)`. Use
+/// [`blanczos_smallest_ws`] with a long-lived [`BlanczosWorkspace`] to get
+/// warm starts and allocation-free repeats.
+pub fn blanczos_smallest(
+    op: &dyn LinOp,
+    k: usize,
+    cfg: &BlanczosConfig,
+) -> Result<(Vec<f64>, Matrix)> {
+    let mut ws = BlanczosWorkspace::new();
+    blanczos_smallest_ws(op, k, cfg, &mut ws)?;
+    Ok((ws.values, ws.subspace))
+}
+
+/// Fills `buf` with centered deterministic noise.
+fn random_fill(buf: &mut [f64], rng: &mut SplitMix64) {
+    for x in buf.iter_mut() {
+        *x = rng.next_f64() - 0.5;
+    }
+}
+
+/// Orthogonalizes `cand` against the columns of `dv` then `v` (flat
+/// buffers of `n`-length columns) and normalizes it. A second
+/// Gram–Schmidt pass runs only when the first one cancelled a significant
+/// fraction of the norm (selective reorthogonalization, DGK criterion).
+///
+/// Returns the pre-normalization norm; `0.0` signals breakdown (the
+/// candidate lies in the existing span) and leaves `cand` unusable.
+fn orthonormalize(cand: &mut [f64], n: usize, dv: &[f64], v: &[f64]) -> f64 {
+    let orig = norm2(cand);
+    if orig <= 1e-300 {
+        return 0.0;
+    }
+    let mut prev = orig;
+    for _pass in 0..2 {
+        for basis in [dv, v] {
+            for col in basis.chunks_exact(n) {
+                let c = dot(col, cand);
+                axpy(-c, col, cand);
+            }
+        }
+        let after = norm2(cand);
+        let lost = after <= REORTH_ETA * prev;
+        prev = after;
+        if !lost {
+            break;
+        }
+    }
+    if prev <= BREAKDOWN_TOL * orig.max(1.0) {
+        return 0.0;
+    }
+    let inv = 1.0 / prev;
+    for x in cand.iter_mut() {
+        *x *= inv;
+    }
+    prev
+}
+
+/// [`orthonormalize`] for a `(z, A·z)` pair: every elementary operation on
+/// `z` is mirrored on `az` with the matching image column, so the
+/// invariant `az = A·z` survives by linearity and restarts never spend
+/// operator applies.
+fn orthonormalize_pair(
+    z: &mut [f64],
+    az: &mut [f64],
+    n: usize,
+    dv: &[f64],
+    dav: &[f64],
+    v: &[f64],
+    av: &[f64],
+) -> f64 {
+    let orig = norm2(z);
+    if orig <= 1e-300 {
+        return 0.0;
+    }
+    let mut prev = orig;
+    for _pass in 0..2 {
+        for (basis, images) in [(dv, dav), (v, av)] {
+            for (col, img) in basis.chunks_exact(n).zip(images.chunks_exact(n)) {
+                let c = dot(col, z);
+                axpy(-c, col, z);
+                axpy(-c, img, az);
+            }
+        }
+        let after = norm2(z);
+        let lost = after <= REORTH_ETA * prev;
+        prev = after;
+        if !lost {
+            break;
+        }
+    }
+    if prev <= BREAKDOWN_TOL * orig.max(1.0) {
+        return 0.0;
+    }
+    let inv = 1.0 / prev;
+    for x in z.iter_mut() {
+        *x *= inv;
+    }
+    for x in az.iter_mut() {
+        *x *= inv;
+    }
+    prev
+}
+
+/// Applies `op` to basis columns `s0..s0+nb` in one batched panel call,
+/// appending the images to `av`. Panels are row-major `n × nb` as
+/// [`LinOp::apply_block_into`] expects.
+#[allow(clippy::too_many_arguments)]
+fn apply_new_block(
+    op: &dyn LinOp,
+    v: &[f64],
+    n: usize,
+    s0: usize,
+    nb: usize,
+    panel_in: &mut Vec<f64>,
+    panel_out: &mut Vec<f64>,
+    av: &mut Vec<f64>,
+) {
+    panel_in.resize(n * nb, 0.0);
+    panel_out.resize(n * nb, 0.0);
+    for c in 0..nb {
+        let col = &v[(s0 + c) * n..(s0 + c + 1) * n];
+        for (r, &x) in col.iter().enumerate() {
+            panel_in[r * nb + c] = x;
+        }
+    }
+    op.apply_block_into(panel_in, nb, panel_out);
+    for c in 0..nb {
+        av.extend((0..n).map(|r| panel_out[r * nb + c]));
+    }
+}
+
+/// Extends `T = VᵀAV` (leading dimension `ld`) with columns `s0..s0+nb`.
+fn extend_projection(t: &mut [f64], ld: usize, v: &[f64], av: &[f64], n: usize, s0: usize, nb: usize) {
+    for j in s0..s0 + nb {
+        let avj = &av[j * n..(j + 1) * n];
+        for i in 0..=j {
+            let val = dot(&v[i * n..(i + 1) * n], avj);
+            t[i * ld + j] = val;
+            t[j * ld + i] = val;
+        }
+    }
+}
+
+/// Writes Ritz pair `idx` of the current projection into `(z, az)`:
+/// `z = V·y_idx`, `az = AV·y_idx`.
+#[allow(clippy::too_many_arguments)]
+fn ritz_pair_into(
+    z: &mut [f64],
+    az: &mut [f64],
+    v: &[f64],
+    av: &[f64],
+    te: &[f64],
+    n: usize,
+    s: usize,
+    idx: usize,
+) {
+    z.fill(0.0);
+    az.fill(0.0);
+    for i in 0..s {
+        let c = te[i * s + idx];
+        if c != 0.0 {
+            axpy(c, &v[i * n..(i + 1) * n], z);
+            axpy(c, &av[i * n..(i + 1) * n], az);
+        }
+    }
+}
+
+struct RestartArgs<'a> {
+    v: &'a mut Vec<f64>,
+    av: &'a mut Vec<f64>,
+    rv: &'a mut Vec<f64>,
+    rav: &'a mut Vec<f64>,
+    t: &'a mut [f64],
+    te: &'a [f64],
+    order: &'a [usize],
+    work: &'a mut [f64],
+    work2: &'a mut [f64],
+    dv: &'a [f64],
+    dav: &'a [f64],
+    n: usize,
+    s: usize,
+    ld: usize,
+    skip: usize,
+    keep: usize,
+}
+
+/// Thick restart: rebuilds the active basis from Ritz vectors
+/// `order[skip..skip+keep]`. Operator-free — restart vectors are linear
+/// combinations of `V`, so their images are the same combinations of `AV`
+/// (kept exact by [`orthonormalize_pair`]'s mirroring). Returns the new
+/// basis size and rebuilds `T` from dot products.
+fn thick_restart(args: RestartArgs<'_>) -> usize {
+    let RestartArgs { v, av, rv, rav, t, te, order, work, work2, dv, dav, n, s, ld, skip, keep } =
+        args;
+    rv.clear();
+    rav.clear();
+    rv.reserve(n * keep);
+    rav.reserve(n * keep);
+    let mut acc = 0usize;
+    for &ord in order.iter().skip(skip).take(keep) {
+        ritz_pair_into(work, work2, v, av, te, n, s, ord);
+        if orthonormalize_pair(work, work2, n, dv, dav, &rv[..acc * n], &rav[..acc * n]) > 0.0 {
+            rv.extend_from_slice(work);
+            rav.extend_from_slice(work2);
+            acc += 1;
+        }
+    }
+    std::mem::swap(v, rv);
+    std::mem::swap(av, rav);
+    for j in 0..acc {
+        let avj = &av[j * n..(j + 1) * n];
+        for i in 0..=j {
+            let val = dot(&v[i * n..(i + 1) * n], avj);
+            t[i * ld + j] = val;
+            t[j * ld + i] = val;
+        }
+    }
+    acc
+}
+
+struct AssembleArgs<'a> {
+    subspace: &'a mut Matrix,
+    values: &'a mut Vec<f64>,
+    v: &'a [f64],
+    /// Deflation basis columns (`d` of them).
+    dv: &'a [f64],
+    dvals: &'a [f64],
+    te: &'a [f64],
+    theta: &'a [f64],
+    order: &'a [usize],
+    work: &'a mut [f64],
+    vals_out: &'a mut Vec<f64>,
+    order_out: &'a mut Vec<usize>,
+    n: usize,
+    k: usize,
+    s: usize,
+    d: usize,
+}
+
+/// Merges the locked pairs and the leading active Ritz pairs into the
+/// workspace outputs, ascending by eigenvalue.
+fn assemble_outputs(args: AssembleArgs<'_>) {
+    let AssembleArgs {
+        subspace,
+        values,
+        v,
+        dv,
+        dvals,
+        te,
+        theta,
+        order,
+        work,
+        vals_out,
+        order_out,
+        n,
+        k,
+        s,
+        d,
+    } = args;
+    let kk = (k - d).min(s);
+    vals_out.clear();
+    vals_out.extend_from_slice(dvals);
+    for p in 0..kk {
+        vals_out.push(theta[order[p]]);
+    }
+    order_out.resize(vals_out.len(), 0);
+    for (i, o) in order_out.iter_mut().enumerate() {
+        *o = i;
+    }
+    order_out.sort_unstable_by(|&a, &b| {
+        vals_out[a].partial_cmp(&vals_out[b]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    if subspace.shape() != (n, k) {
+        *subspace = Matrix::zeros(n, k);
+    }
+    values.resize(k, 0.0);
+    for (col, &ci) in order_out.iter().take(k).enumerate() {
+        values[col] = vals_out[ci];
+        if ci < d {
+            subspace.set_col(col, &dv[ci * n..(ci + 1) * n]);
+        } else {
+            let idx = order[ci - d];
+            work.fill(0.0);
+            for i in 0..s {
+                let c = te[i * s + idx];
+                if c != 0.0 {
+                    axpy(c, &v[i * n..(i + 1) * n], work);
+                }
+            }
+            let nrm = norm2(work);
+            if nrm > 0.0 {
+                let inv = 1.0 / nrm;
+                for x in work.iter_mut() {
+                    *x *= inv;
+                }
+            }
+            subspace.set_col(col, work);
+        }
+    }
+}
+
+/// In-place cyclic Jacobi on a flat row-major `n × n` symmetric matrix:
+/// the same stable rotation as [`crate::jacobi_eigen`], restated over
+/// slices so the warm path can reuse grow-only buffers. On return the
+/// eigenvalues sit (unsorted) on the diagonal of `m` and the eigenvectors
+/// in the matching columns of `vecs`.
+fn jacobi_flat(m: &mut [f64], vecs: &mut [f64], n: usize) -> Result<()> {
+    debug_assert_eq!(m.len(), n * n);
+    debug_assert_eq!(vecs.len(), n * n);
+    vecs.fill(0.0);
+    for i in 0..n {
+        vecs[i * n + i] = 1.0;
+    }
+    if n <= 1 {
+        return Ok(());
+    }
+
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0;
+        let mut scale = 1.0f64;
+        for i in 0..n {
+            for j in 0..n {
+                scale = scale.max(m[i * n + j].abs());
+                if j > i {
+                    off += m[i * n + j] * m[i * n + j];
+                }
+            }
+        }
+        if off.sqrt() <= 1e-14 * scale * n as f64 {
+            return Ok(());
+        }
+
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[p * n + q];
+                if apq.abs() <= 1e-300 {
+                    continue;
+                }
+                let app = m[p * n + p];
+                let aqq = m[q * n + q];
+                // Classic stable rotation angle computation.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // M ← Jᵀ M J, then accumulate J into the eigenvectors.
+                for row in 0..n {
+                    let mkp = m[row * n + p];
+                    let mkq = m[row * n + q];
+                    m[row * n + p] = c * mkp - s * mkq;
+                    m[row * n + q] = s * mkp + c * mkq;
+                }
+                for colk in 0..n {
+                    let mpk = m[p * n + colk];
+                    let mqk = m[q * n + colk];
+                    m[p * n + colk] = c * mpk - s * mqk;
+                    m[q * n + colk] = s * mpk + c * mqk;
+                }
+                for row in 0..n {
+                    let vkp = vecs[row * n + p];
+                    let vkq = vecs[row * n + q];
+                    vecs[row * n + p] = c * vkp - s * vkq;
+                    vecs[row * n + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    Err(LinalgError::NoConvergence { routine: "blanczos.jacobi", max_iter: MAX_SWEEPS })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eigen::SymEigen;
+
+    fn sym(n: usize, f: impl Fn(usize, usize) -> f64) -> Matrix {
+        let mut m = Matrix::from_fn(n, n, |i, j| f(i.min(j), i.max(j)));
+        m.symmetrize_mut();
+        m
+    }
+
+    #[test]
+    fn matches_dense_solver_small() {
+        let a = sym(12, |i, j| ((i * 3 + j) as f64).sin() + if i == j { 4.0 } else { 0.0 });
+        let (vals, vecs) = blanczos_smallest(&a, 3, &BlanczosConfig::default()).unwrap();
+        let dense = SymEigen::compute(&a).unwrap();
+        for (v, dv) in vals.iter().zip(dense.eigenvalues.iter()) {
+            assert!((v - dv).abs() < 1e-7, "{v} vs {dv}");
+        }
+        for (i, &val) in vals.iter().enumerate() {
+            let v = vecs.col(i);
+            let av = a.matvec(&v);
+            let res: f64 =
+                av.iter().zip(v.iter()).map(|(x, y)| (x - val * y).powi(2)).sum::<f64>().sqrt();
+            assert!(res < 1e-6, "residual {res}");
+        }
+    }
+
+    #[test]
+    fn diagonal_operator() {
+        let diag: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let a = Matrix::from_diag(&diag);
+        let (vals, _) = blanczos_smallest(&a, 4, &BlanczosConfig::default()).unwrap();
+        for (i, &v) in vals.iter().enumerate() {
+            assert!((v - i as f64).abs() < 1e-6, "eigenvalue {i}: {v}");
+        }
+    }
+
+    #[test]
+    fn k_equals_n_exact() {
+        let a = Matrix::from_diag(&[3.0, 1.0, 2.0]);
+        let (vals, vecs) = blanczos_smallest(&a, 3, &BlanczosConfig::default()).unwrap();
+        assert!((vals[0] - 1.0).abs() < 1e-9);
+        assert!((vals[2] - 3.0).abs() < 1e-9);
+        assert!(vecs.matmul_transpose_a(&vecs).approx_eq(&Matrix::identity(3), 1e-8));
+    }
+
+    #[test]
+    fn warm_start_reconverges_faster() {
+        let n = 60;
+        let a = sym(n, |i, j| {
+            if i == j {
+                (i % 9) as f64 + 2.0
+            } else if j == i + 1 {
+                0.7
+            } else {
+                0.0
+            }
+        });
+        let mut ws = BlanczosWorkspace::new();
+        let cfg = BlanczosConfig::default();
+        blanczos_smallest_ws(&a, 4, &cfg, &mut ws).unwrap();
+        let cold_iters = ws.last_iters();
+        let cold_vals = ws.values().to_vec();
+
+        blanczos_smallest_ws(&a, 4, &cfg, &mut ws).unwrap();
+        assert!(
+            ws.last_iters() < cold_iters || cold_iters == 1,
+            "warm {} vs cold {cold_iters}",
+            ws.last_iters()
+        );
+        for (w, c) in ws.values().iter().zip(cold_vals.iter()) {
+            assert!((w - c).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn invalidate_forces_cold_start() {
+        let a = sym(20, |i, j| ((i + 2 * j) as f64).cos() + if i == j { 3.0 } else { 0.0 });
+        let mut ws = BlanczosWorkspace::new();
+        let cfg = BlanczosConfig::default();
+        blanczos_smallest_ws(&a, 2, &cfg, &mut ws).unwrap();
+        assert!(ws.is_warm());
+        ws.invalidate();
+        assert!(!ws.is_warm());
+        blanczos_smallest_ws(&a, 2, &cfg, &mut ws).unwrap();
+        assert!(ws.is_warm());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = sym(24, |i, j| ((i + j) as f64).cos() + if i == j { 3.0 } else { 0.0 });
+        let cfg = BlanczosConfig { seed: 42, ..Default::default() };
+        let (v1, m1) = blanczos_smallest(&a, 2, &cfg).unwrap();
+        let (v2, m2) = blanczos_smallest(&a, 2, &cfg).unwrap();
+        assert_eq!(v1, v2);
+        assert!(m1.approx_eq(&m2, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be >= 1")]
+    fn zero_k_panics() {
+        let a = Matrix::identity(3);
+        let _ = blanczos_smallest(&a, 0, &BlanczosConfig::default());
+    }
+
+    #[test]
+    fn jacobi_flat_matches_jacobi_eigen() {
+        for n in [2usize, 5, 9] {
+            let a = sym(n, |i, j| ((i * 5 + j * 11) as f64).sin() + if i == j { 2.0 } else { 0.0 });
+            let mut m: Vec<f64> = a.as_slice().to_vec();
+            let mut vecs = vec![0.0; n * n];
+            jacobi_flat(&mut m, &mut vecs, n).unwrap();
+            let mut flat_vals: Vec<f64> = (0..n).map(|i| m[i * n + i]).collect();
+            flat_vals.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            let (ref_vals, _) = crate::jacobi_eigen(&a).unwrap();
+            for (x, y) in flat_vals.iter().zip(ref_vals.iter()) {
+                assert!((x - y).abs() < 1e-10, "n={n}: {x} vs {y}");
+            }
+        }
+    }
+}

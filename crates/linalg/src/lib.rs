@@ -27,6 +27,7 @@
 //! errors), while algorithmic failures (non-convergence, non-PSD input)
 //! return [`LinalgError`].
 
+pub mod blanczos;
 pub mod cholesky;
 pub mod eigen;
 pub mod error;
@@ -42,6 +43,7 @@ pub mod svd;
 pub mod testkit;
 pub mod tridiag;
 
+pub use blanczos::{blanczos_smallest, blanczos_smallest_ws, BlanczosConfig, BlanczosWorkspace};
 pub use cholesky::{cholesky, cholesky_solve, inverse_sqrt_psd};
 pub use eigen::SymEigen;
 pub use generalized::{generalized_eigen, GeneralizedEigen};

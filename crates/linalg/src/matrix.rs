@@ -264,19 +264,59 @@ impl Matrix {
     /// cache locality it buys; narrower products use the plain row kernel.
     const GEMM_MIN_BLOCK_COLS: usize = 32;
 
+    /// Candidate tile geometries swept by [`Matrix::autotune_tiles`]:
+    /// the default plus neighbours trading row-tile grain (parallel
+    /// granularity) against packed-panel width (L1/L2 footprint).
+    pub const GEMM_TILE_CANDIDATES: [(usize, usize); 4] = [(16, 64), (32, 64), (32, 128), (64, 64)];
+
     /// Tile geometry used by the implicit blocked-GEMM entry points:
     /// the `UMSC_GEMM_TILES` environment variable (a [`parse_tile_spec`]
-    /// string like `32x64`, read once per process) or the built-in
-    /// defaults. Tile choice never changes results — only which cache
-    /// level each packed panel streams through.
+    /// string like `32x64`, or `auto` to run [`Matrix::autotune_tiles`]
+    /// once; read once per process) or the built-in defaults. Tile choice
+    /// never changes results — only which cache level each packed panel
+    /// streams through.
     pub fn gemm_tiles() -> (usize, usize) {
         static GEMM_TILES: std::sync::OnceLock<(usize, usize)> = std::sync::OnceLock::new();
-        *GEMM_TILES.get_or_init(|| {
-            std::env::var("UMSC_GEMM_TILES")
-                .ok()
-                .and_then(|v| parse_tile_spec(&v))
-                .unwrap_or((Self::GEMM_TILE_I, Self::GEMM_TILE_J))
+        *GEMM_TILES.get_or_init(|| match std::env::var("UMSC_GEMM_TILES").ok() {
+            Some(v) if v.trim().eq_ignore_ascii_case("auto") => Self::autotune_tiles(),
+            Some(v) => parse_tile_spec(&v).unwrap_or((Self::GEMM_TILE_I, Self::GEMM_TILE_J)),
+            None => (Self::GEMM_TILE_I, Self::GEMM_TILE_J),
         })
+    }
+
+    /// Times one warm 256×256 blocked product per candidate geometry in
+    /// [`Matrix::GEMM_TILE_CANDIDATES`] at the process's thread count and
+    /// returns the fastest. `UMSC_GEMM_TILES=auto` runs this once per
+    /// process (cached by [`Matrix::gemm_tiles`]); the sweep costs four
+    /// warm + four timed ~33 Mflop GEMMs at startup. Because every tile
+    /// geometry is bitwise-identical in output (asserted by tests), the
+    /// choice is pure performance policy.
+    pub fn autotune_tiles() -> (usize, usize) {
+        const N: usize = 256;
+        let mut a = Matrix::zeros(N, N);
+        let mut b = Matrix::zeros(N, N);
+        for i in 0..N {
+            for j in 0..N {
+                a[(i, j)] = ((i * 31 + j * 17 + 1) as f64).sin();
+                b[(i, j)] = ((i * 13 + j * 29 + 2) as f64).cos();
+            }
+        }
+        let threads = umsc_rt::par::max_threads();
+        let mut best = Self::GEMM_TILE_CANDIDATES[0];
+        let mut best_ns = u128::MAX;
+        for &(tile_i, tile_j) in Self::GEMM_TILE_CANDIDATES.iter() {
+            let _warm = a.matmul_tiled_with(threads, tile_i, tile_j, &b);
+            let start = std::time::Instant::now();
+            let timed = a.matmul_tiled_with(threads, tile_i, tile_j, &b);
+            let ns = start.elapsed().as_nanos();
+            // Fold a value back in so the timed product cannot be DCE'd.
+            std::hint::black_box(timed.as_slice()[0]);
+            if ns < best_ns {
+                best_ns = ns;
+                best = (tile_i, tile_j);
+            }
+        }
+        best
     }
 
     /// Matrix product `self · other`.
@@ -1258,6 +1298,36 @@ mod tests {
         // Tile geometry is positive whichever way it was chosen.
         let (ti, tj) = Matrix::gemm_tiles();
         assert!(ti >= 1 && tj >= 1);
+    }
+
+    #[test]
+    fn autotune_picks_a_candidate_and_all_candidates_agree_bitwise() {
+        let choice = Matrix::autotune_tiles();
+        assert!(
+            Matrix::GEMM_TILE_CANDIDATES.contains(&choice),
+            "autotune returned non-candidate geometry {choice:?}"
+        );
+        // Whatever the sweep picks is pure policy: every candidate (and
+        // therefore `UMSC_GEMM_TILES=auto`) produces bitwise-identical
+        // products.
+        let a = random_with_zeros(67, 53, 901);
+        let b = random_with_zeros(53, 71, 902);
+        let reference = a.matmul_naive_with(1, &b);
+        for &(ti, tj) in Matrix::GEMM_TILE_CANDIDATES.iter() {
+            for t in [1, 3] {
+                assert_eq!(
+                    a.matmul_tiled_with(t, ti, tj, &b).as_slice(),
+                    reference.as_slice(),
+                    "candidate tile {ti}x{tj} at {t} threads diverges"
+                );
+            }
+        }
+        let (ti, tj) = choice;
+        assert_eq!(
+            a.matmul_tiled_with(umsc_rt::par::max_threads(), ti, tj, &b).as_slice(),
+            reference.as_slice(),
+            "autotuned tile {ti}x{tj} diverges"
+        );
     }
 
     #[test]

@@ -21,6 +21,18 @@ grep -q '"schema":"umsc-bench-trajectory/v1"' "$smoke_json" \
 # re-asserts the O(nnz + n·c) memory story outside the test harness).
 UMSC_BENCH_SMOKE=1 cargo run -q --release --offline --example sparse_scaling
 
+# Allocation-regression gate: a full warm fit sizes each workspace buffer
+# once; the realloc counter is a structural constant. Exceeding the
+# committed baseline means per-sweep reallocation crept back into the hot
+# loop.
+realloc="$(cargo run -q --release --offline --example alloc_gate | sed -n 's/^workspace\.realloc=//p')"
+baseline="$(tr -d '[:space:]' < scripts/alloc_baseline.txt)"
+[ -n "$realloc" ] || { echo "verify: alloc_gate printed no workspace.realloc count" >&2; exit 1; }
+if [ "$realloc" -gt "$baseline" ]; then
+    echo "verify: workspace.realloc=$realloc exceeds committed baseline $baseline (scripts/alloc_baseline.txt)" >&2
+    exit 1
+fi
+
 # Observability smoke: a traced fit must emit a parseable umsc-trace/v1
 # JSONL stream, and trace-report must aggregate it without errors.
 trace_dir="$(mktemp -d /tmp/umsc-verify-trace.XXXXXX)"
@@ -36,4 +48,4 @@ grep -q '"schema":"umsc-trace/v1"' "$trace_json" \
 cargo run -q --release --offline -p umsc-cli -- trace-report --trace "$trace_json" \
     || { echo "verify: trace-report failed to parse the trace" >&2; exit 1; }
 
-echo "verify: OK (offline build + tests + clippy + bench smoke + sparse-scaling smoke + trace smoke)"
+echo "verify: OK (offline build + tests + clippy + bench smoke + sparse-scaling smoke + alloc gate + trace smoke)"
